@@ -1,0 +1,15 @@
+"""Figure 1: FLOP breakdown of TinyMPC kernels."""
+
+from repro.experiments import fig1_flop_breakdown
+from repro.tinympc import ITERATIVE_KERNELS
+
+
+def test_fig1_flop_breakdown(benchmark, quadrotor_problem, show_rows):
+    rows = benchmark(fig1_flop_breakdown, quadrotor_problem)
+    show_rows("Figure 1: FLOP breakdown of TinyMPC kernels", rows)
+    by_kernel = {row["kernel"]: row for row in rows}
+    # Shape: every kernel contributes work and the matrix-vector heavy
+    # iterative passes dominate the FLOP count.
+    assert all(row["flops"] > 0 for row in rows)
+    iterative_share = sum(by_kernel[k]["share"] for k in ITERATIVE_KERNELS)
+    assert iterative_share > 0.5

@@ -1,0 +1,50 @@
+"""Figures 3, 4, 5, 11: vector-architecture characterization and optimization."""
+
+from repro.experiments import (
+    fig3_library_vs_optimized,
+    fig4_lmul_sweep,
+    fig5_operator_fusion,
+    fig11_frontend_comparison,
+)
+
+
+def test_fig3_library_vs_optimized(benchmark, iteration_program, show_rows):
+    rows = benchmark(fig3_library_vs_optimized, iteration_program)
+    show_rows("Figure 3: out-of-box matlib vs hand-optimized TinyMPC", rows)
+    cycles = {row["variant"]: row["cycles"] for row in rows}
+    # Paper shape: vectorized matlib beats scalar matlib, but optimized scalar
+    # Eigen still beats out-of-box vectorized matlib; hand-optimized RVV wins.
+    assert cycles["Rocket + scalar matlib"] > cycles["Saturn (Rocket) + vectorized matlib"]
+    assert cycles["Rocket + optimized Eigen"] < cycles["Saturn (Rocket) + vectorized matlib"]
+    assert cycles["Saturn (Rocket) + hand-optimized RVV"] == min(cycles.values())
+
+
+def test_fig4_lmul_sweep(benchmark, iteration_program, show_rows):
+    rows = benchmark(fig4_lmul_sweep, iteration_program)
+    show_rows("Figure 4: TinyMPC on Saturn with varying LMUL", rows)
+    by_lmul = {row["lmul"]: row for row in rows}
+    # Paper shape: register grouping improves the elementwise kernels but
+    # degrades the serial iterative kernels with tiny vectors.
+    assert by_lmul[8]["elementwise_cycles"] < by_lmul[1]["elementwise_cycles"]
+    assert by_lmul[8]["iterative_cycles"] > by_lmul[1]["iterative_cycles"]
+
+
+def test_fig5_operator_fusion(benchmark, iteration_program, show_rows):
+    rows = benchmark(fig5_operator_fusion, iteration_program)
+    show_rows("Figure 5: library vs fused-operator speedup on Saturn", rows)
+    total = next(row for row in rows if row["kernel"] == "total")
+    assert total["speedup"] > 1.5
+    # Per-kernel speedups should reach well beyond the end-to-end number.
+    assert max(row["speedup"] for row in rows) > 2.0
+
+
+def test_fig11_frontend_comparison(benchmark, iteration_program, show_rows):
+    rows = benchmark(fig11_frontend_comparison, iteration_program)
+    show_rows("Figure 11: Saturn kernels, Rocket vs Shuttle frontend", rows)
+    # The dual-issue Shuttle frontend should at least match the Rocket
+    # frontend on every kernel and strictly win overall.
+    wins = sum(1 for row in rows
+               if row["shuttle_frontend_speedup"] >= row["rocket_frontend_speedup"])
+    assert wins >= len(rows) - 1
+    assert (sum(row["shuttle_frontend_speedup"] for row in rows)
+            > sum(row["rocket_frontend_speedup"] for row in rows))

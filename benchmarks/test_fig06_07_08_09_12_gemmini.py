@@ -1,0 +1,61 @@
+"""Figures 6, 7, 8, 9, 12: Gemmini software-mapping optimizations."""
+
+from repro.experiments import (
+    fig6_static_mapping,
+    fig7_scratchpad_resident,
+    fig8_scratchpad_layout,
+    fig9_sync_granularity,
+    fig12_engine_ablation,
+)
+
+
+def test_fig6_static_mapping(benchmark, iteration_program, show_rows):
+    rows = benchmark(fig6_static_mapping, iteration_program)
+    show_rows("Figure 6: Gemmini loop unrolling and static mapping", rows)
+    cycles = {row["level"]: row["cycles"] for row in rows}
+    # Shape: fine-grained beats CISC for these tiny tiles, and unrolling plus
+    # static mapping improves on dynamic addressing.
+    assert cycles["static"] < cycles["library"] <= cycles["cisc"]
+
+
+def test_fig7_scratchpad_resident(benchmark, iteration_program, show_rows):
+    rows = benchmark(fig7_scratchpad_resident, iteration_program)
+    show_rows("Figure 7: DRAM-staged vs scratchpad-resident", rows)
+    resident = next(row for row in rows if row["level"] == "scratchpad")
+    staged = next(row for row in rows if row["level"] == "static")
+    assert resident["cycles"] < staged["cycles"]
+    assert resident["dram_transfers"] == 0
+    assert resident["fences"] < staged["fences"]
+
+
+def test_fig8_scratchpad_layout(benchmark, iteration_program, show_rows):
+    rows = benchmark(fig8_scratchpad_layout, iteration_program)
+    show_rows("Figure 8: solver workspace mapping onto the scratchpad", rows)
+    buffers = {row["buffer"] for row in rows}
+    # The solver matrices and the utility identities are pinned (Figure 8).
+    for name in ("Adyn", "Bdyn", "Kinf", "Pinf", "Quu_inv", "AmBKt", "identity"):
+        assert name in buffers
+    total = next(row for row in rows if row["buffer"] == "<total>")
+    assert total["spilled"] == 0
+    assert 0.0 < total["occupancy"] <= 1.0
+
+
+def test_fig9_sync_granularity(benchmark, iteration_program, show_rows):
+    rows = benchmark(fig9_sync_granularity, iteration_program)
+    show_rows("Figure 9: kernel granularity vs CPU-Gemmini sync overhead", rows)
+    overheads = [row["sync_overhead_fraction"] for row in rows]
+    assert overheads == sorted(overheads, reverse=True)
+    assert overheads[0] > 2 * overheads[-1]
+
+
+def test_fig12_engine_ablation(benchmark, iteration_program, show_rows):
+    rows = benchmark(fig12_engine_ablation, iteration_program)
+    show_rows("Figure 12: Gemmini kernel breakdown with engine ablation", rows)
+    total = next(row for row in rows if row["kernel"] == "total")
+    # Each added engine (scaling/activation, then pooling) helps end to end.
+    assert (total["elementwise_plus_pool_speedup"]
+            >= total["elementwise_engines_speedup"]
+            > total["mesh_only_speedup"])
+    # The elementwise slack updates are where the activation engine pays off.
+    slack = next(row for row in rows if row["kernel"] == "update_slack_1")
+    assert slack["elementwise_engines_speedup"] > slack["mesh_only_speedup"]

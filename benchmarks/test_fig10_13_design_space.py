@@ -1,0 +1,39 @@
+"""Figures 10 and 13: design-space exploration across architectures."""
+
+from repro.experiments import fig10_pareto, fig13_kernel_comparison
+
+
+def test_fig10_pareto(benchmark, iteration_program, show_rows):
+    rows = benchmark(fig10_pareto, iteration_program)
+    show_rows("Figure 10: performance vs area Pareto frontier", rows)
+    by_name = {row["design_point"]: row for row in rows}
+    # Paper shape: Rocket anchors the low-area end of the frontier, a Gemmini
+    # configuration is optimal in the mid-area window, vector designs take
+    # over above it, and the big out-of-order cores are dominated.
+    assert by_name["rocket"]["pareto_optimal"]
+    assert any(row["pareto_optimal"] for row in rows if row["category"] == "systolic")
+    assert any(row["pareto_optimal"] for row in rows if row["category"] == "vector")
+    for name in ("medium-boom", "large-boom", "mega-boom"):
+        assert not by_name[name]["pareto_optimal"]
+    best_overall = max(rows, key=lambda row: row["solve_hz_at_500mhz"])
+    assert best_overall["category"] == "vector"
+
+
+def test_fig13_kernel_comparison(benchmark, iteration_program, show_rows):
+    rows = benchmark(fig13_kernel_comparison, iteration_program)
+    show_rows("Figure 13: kernel performance across architectures", rows)
+    vector_key = "vector (Saturn V512D512, Rocket)"
+    systolic_key = "systolic (Gemmini 4x4 OS, Rocket)"
+    # Paper shape (equal-PE Saturn V512D512 vs Gemmini 4x4, both Rocket-driven):
+    # Saturn shows uniform, usually higher speedups; Gemmini excels only in
+    # its matrix-heavy niche (forward passes / linear-cost updates) and falls
+    # behind elsewhere.
+    vector_speedups = [row[vector_key] for row in rows]
+    systolic_speedups = [row[systolic_key] for row in rows]
+    assert min(vector_speedups) > 1.0                      # uniform wins
+    assert min(systolic_speedups) < min(vector_speedups)   # Gemmini's weak spots
+    vector_wins = sum(1 for row in rows if row[vector_key] >= row[systolic_key])
+    assert vector_wins > len(rows) / 2
+    # ...but Gemmini beats Saturn on at least one iterative matrix kernel.
+    assert any(row[systolic_key] > row[vector_key] for row in rows
+               if row["class"] == "iterative")

@@ -1,0 +1,22 @@
+"""Figure 17: impact of vectorization on disturbance recovery."""
+
+import numpy as np
+
+from repro.experiments import fig17_disturbance_recovery
+
+
+def test_fig17_disturbance_recovery(benchmark, show_rows):
+    rows = benchmark.pedantic(fig17_disturbance_recovery,
+                              kwargs=dict(frequency_mhz=100.0),
+                              rounds=1, iterations=1)
+    show_rows("Figure 17: disturbance recovery time", rows)
+    assert {row["category"] for row in rows} == {"force", "torque", "combined"}
+    # The vector implementation recovers at least as many disturbances as the
+    # scalar one and is never slower on average where both recover.
+    for row in rows:
+        assert row["vector_recovered"] >= row["scalar_recovered"]
+    improvements = [row["ttr_improvement_pct"] for row in rows
+                    if "ttr_improvement_pct" in row
+                    and np.isfinite(row.get("ttr_improvement_pct", float("nan")))]
+    if improvements:
+        assert max(improvements) > -20.0

@@ -1,0 +1,33 @@
+"""Figure 18 (SWaP variants) and Section 5.3 (concurrent tasks)."""
+
+from repro.experiments import fig18_swap_variants, sec53_concurrent_tasks
+
+
+def test_fig18_swap_variants(benchmark, show_rows):
+    rows = benchmark.pedantic(
+        fig18_swap_variants,
+        kwargs=dict(frequencies_mhz=(100.0,), episodes_per_cell=1),
+        rounds=1, iterations=1)
+    show_rows("Figure 18: SWaP variant success and power", rows)
+    by_variant = {row["variant"]: row for row in rows}
+    assert set(by_variant) == {"CrazyFlie", "Hawk", "Heron"}
+    # Power ordering follows the platforms' rotor loading: the heavy,
+    # small-prop Hawk burns the most power; the large-prop Heron the least.
+    assert (by_variant["Hawk"]["mean_total_power_w"]
+            > by_variant["CrazyFlie"]["mean_total_power_w"]
+            > by_variant["Heron"]["mean_total_power_w"])
+    # Every variant completes at least the easier tasks with the vector build.
+    for row in rows:
+        assert row["success_rate"] >= 0.5
+        assert row["mean_soc_power_w"] < row["mean_actuation_power_w"]
+
+
+def test_sec53_concurrent_tasks(benchmark, show_rows):
+    rows = benchmark(sec53_concurrent_tasks)
+    show_rows("Section 5.3: concurrent MPC + DroNet tasks", rows)
+    by_impl = {row["implementation"]: row for row in rows}
+    # Swapping scalar MPC for the vector build frees CPU time and raises the
+    # background CNN's frame rate.
+    assert (by_impl["vector"]["mpc_cpu_occupancy_pct"]
+            < by_impl["scalar"]["mpc_cpu_occupancy_pct"])
+    assert by_impl["vector vs scalar"]["fps_improvement"] > 1.0

@@ -1,0 +1,27 @@
+"""Section 4.3 code-generation cycle counts and the headline speedup claim."""
+
+from repro.experiments import headline_speedups, sec43_codegen_cycles
+
+
+def test_sec43_codegen_cycles(benchmark, quadrotor_problem, show_rows):
+    rows = benchmark(sec43_codegen_cycles, quadrotor_problem)
+    show_rows("Section 4.3: automated code generation cycle counts", rows)
+    by_variant = {row["variant"]: row for row in rows}
+    scalar = by_variant["scalar baseline (CPU)"]["cycles_per_solve"]
+    vector = by_variant["vectorized baseline (RVV, no grouping)"]["cycles_per_solve"]
+    fused = by_variant["automated unrolled + fused"]["cycles_per_solve"]
+    # Paper: ~11M -> 1.35M -> 0.55M (8.1x then 2.45x).  The shape to hold is
+    # a large scalar-to-vector gap and a further ~2-3x from the automated
+    # unrolling + fusion pass.
+    assert scalar / vector > 3.0
+    assert 1.8 < vector / fused < 4.5
+
+
+def test_headline_speedup(benchmark, iteration_program, show_rows):
+    rows = benchmark(headline_speedups, iteration_program)
+    show_rows("Headline: optimized vector vs optimized scalar baseline", rows)
+    row = rows[0]
+    # Paper claims up to 3.71x for MPC; our end-to-end number should land in
+    # the same band and the best single kernel should exceed it.
+    assert 2.5 < row["end_to_end_speedup"] < 5.0
+    assert row["best_kernel_speedup"] > 3.71

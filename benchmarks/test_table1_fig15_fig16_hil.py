@@ -1,0 +1,68 @@
+"""Table 1, Figure 15, and Figure 16: the hardware-in-the-loop evaluation.
+
+The Figure 16 sweep runs real closed-loop episodes, so the benchmark uses a
+reduced grid (one episode per cell, three frequencies); pass larger
+``episodes_per_cell`` / frequency lists to the driver for a full-scale run.
+"""
+
+from repro.experiments import fig15_scenarios, fig16_hil_sweep, table1_variants
+
+
+def test_table1_variants(benchmark, show_rows):
+    rows = benchmark(table1_variants)
+    show_rows("Table 1: CrazyFlie variant parameters", rows)
+    by_name = {row["name"]: row for row in rows}
+    assert by_name["CrazyFlie"]["mass_g"] == 27.0
+    assert by_name["Hawk"]["motor_kv"] == 28000.0
+    assert by_name["Heron"]["propeller_diameter_mm"] == 90.0
+
+
+def test_fig15_scenarios(benchmark, show_rows):
+    rows = benchmark(fig15_scenarios)
+    show_rows("Figure 15: scenario difficulty overview", rows)
+    by_difficulty = {row["difficulty"]: row for row in rows}
+    assert by_difficulty["easy"]["waypoint_count"] == 5
+    assert by_difficulty["hard"]["waypoint_count"] == 10
+    # Generated scenarios should roughly realize the prescribed leg lengths.
+    for row in rows:
+        assert (0.5 * row["average_waypoint_distance_m"]
+                <= row["measured_average_leg_distance_m"]
+                <= 1.6 * row["average_waypoint_distance_m"])
+
+
+def test_fig16_hil_sweep(benchmark, show_rows):
+    rows = benchmark.pedantic(
+        fig16_hil_sweep,
+        kwargs=dict(frequencies_mhz=(50.0, 100.0, 250.0), episodes_per_cell=1,
+                    include_ideal=True),
+        rounds=1, iterations=1)
+    show_rows("Figure 16: HIL solve time / success rate / power", rows)
+
+    def cell(implementation, frequency, difficulty):
+        return next(r for r in rows if r["implementation"] == implementation
+                    and r["frequency_mhz"] == frequency
+                    and r["difficulty"] == difficulty)
+
+    # Solve time falls with clock frequency for both implementations.
+    for implementation in ("scalar", "vector"):
+        assert (cell(implementation, 250.0, "easy")["median_solve_time_ms"]
+                < cell(implementation, 50.0, "easy")["median_solve_time_ms"])
+    # The vector implementation solves faster than scalar at equal frequency.
+    assert (cell("vector", 100.0, "hard")["median_solve_time_ms"]
+            < cell("scalar", 100.0, "hard")["median_solve_time_ms"])
+    # Easy and medium scenarios succeed with the vector build at 100 MHz.
+    assert cell("vector", 100.0, "easy")["success_rate"] == 1.0
+    assert cell("vector", 100.0, "medium")["success_rate"] == 1.0
+    # The ideal policy matches or beats every real design point per difficulty.
+    for difficulty in ("easy", "medium", "hard"):
+        ideal = next(r for r in rows if r["implementation"] == "ideal"
+                     and r["difficulty"] == difficulty)
+        best_real = max(r["success_rate"] for r in rows
+                        if r["implementation"] != "ideal"
+                        and r["difficulty"] == difficulty)
+        assert ideal["success_rate"] >= best_real - 1e-9
+    # SoC power is a small fraction of total power (Figure 16c).
+    for row in rows:
+        if row["implementation"] == "ideal":
+            continue
+        assert row["mean_soc_power_w"] < 0.35 * row["mean_actuation_power_w"]

@@ -1,0 +1,33 @@
+"""Design-space exploration: compare scalar, vector, and systolic design points.
+
+Reproduces the Figure 10 style sweep: for every registered design point, the
+TinyMPC iteration program is compiled at that backend's best software level
+and the resulting cycles, area, and achievable solve frequency are printed,
+along with the Pareto frontier.
+
+Run with::
+
+    python examples/design_space_exploration.py
+"""
+
+from repro.experiments import fig10_pareto, format_rows
+from repro.experiments.kernel_experiments import fig13_kernel_comparison
+
+
+def main() -> None:
+    rows = fig10_pareto()
+    print("Performance vs area across the design space (Figure 10):\n")
+    print(format_rows(rows))
+
+    frontier = [row["design_point"] for row in rows if row["pareto_optimal"]]
+    print("\nPareto-optimal design points (low area -> high performance):")
+    for name in sorted(frontier, key=lambda n: next(
+            r["area_mm2"] for r in rows if r["design_point"] == n)):
+        print("  -", name)
+
+    print("\nPer-kernel speedups over the Rocket/Eigen baseline (Figure 13):\n")
+    print(format_rows(fig13_kernel_comparison()))
+
+
+if __name__ == "__main__":
+    main()

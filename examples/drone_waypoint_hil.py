@@ -1,0 +1,40 @@
+"""Hardware-in-the-loop waypoint tracking with a simulated CrazyFlie.
+
+Flies one scenario of each difficulty with the scalar and vector MPC builds
+running on the Cygnus-like SoC model at 100 MHz, and prints the Figure 16
+style metrics (solve time, success, power).
+
+Run with::
+
+    python examples/drone_waypoint_hil.py
+"""
+
+from repro.drone import Difficulty, generate_scenario
+from repro.hil import HILConfig, HILLoop
+
+
+def main() -> None:
+    print("{:8s} {:8s} {:10s} {:>12s} {:>9s} {:>11s} {:>10s}".format(
+        "impl", "f (MHz)", "difficulty", "solve (ms)", "success", "act. power", "SoC power"))
+    for implementation, frequency in [("scalar", 100.0), ("vector", 100.0)]:
+        loop = HILLoop(HILConfig(implementation=implementation,
+                                 frequency_mhz=frequency))
+        for difficulty in (Difficulty.EASY, Difficulty.MEDIUM, Difficulty.HARD):
+            scenario = generate_scenario(difficulty, seed=0)
+            result = loop.run_scenario(scenario)
+            print("{:8s} {:8.0f} {:10s} {:12.2f} {:>9s} {:10.2f}W {:9.3f}W".format(
+                implementation, frequency, difficulty.value,
+                result.median_solve_time * 1e3,
+                "yes" if result.success else "no",
+                result.actuation_power_w, result.soc_power_w))
+
+    print("\nIdeal policy (zero-latency MPC at every physics step):")
+    ideal = HILLoop(HILConfig(implementation="ideal"))
+    for difficulty in (Difficulty.EASY, Difficulty.MEDIUM, Difficulty.HARD):
+        result = ideal.run_scenario(generate_scenario(difficulty, seed=0))
+        print("  {:10s} success={} actuation={:.2f} W".format(
+            difficulty.value, result.success, result.actuation_power_w))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+"""Quickstart: solve an MPC problem, time it on hardware models, close the loop.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.codegen import CodegenFlow
+from repro.drone import Quadrotor, crazyflie, hover_input, hover_state
+from repro.tinympc import (
+    SolverSettings,
+    TinyMPCSolver,
+    build_iteration_program,
+    default_quadrotor_problem,
+)
+
+
+def main() -> None:
+    # 1. Build the paper's reference workload: CrazyFlie hover MPC.
+    problem = default_quadrotor_problem()
+    solver = TinyMPCSolver(problem, SolverSettings(max_iterations=20))
+    print("Problem: {} states, {} inputs, horizon {}".format(
+        problem.state_dim, problem.input_dim, problem.horizon))
+
+    # 2. Solve once from a perturbed state.
+    x0 = np.zeros(12)
+    x0[0:3] = [0.3, -0.2, -0.1]          # 30 cm off in x, 20 cm in y, 10 cm low
+    goal = np.zeros(12)
+    solution = solver.solve(x0, Xref=goal)
+    print("Solved in {} ADMM iterations (converged={})".format(
+        solution.iterations, solution.converged))
+    print("First control (thrust deltas, N):", np.round(solution.control, 4))
+
+    # 3. Characterize one ADMM iteration on three architecture models.
+    program = build_iteration_program(problem)
+    flow = CodegenFlow()
+    print("\nCycles per ADMM iteration (one iteration of the solver):")
+    for design_point, level in [("rocket", "eigen"),
+                                ("saturn-v512-d256-shuttle", "fused"),
+                                ("gemmini-4x4-os-64k-rocket", "optimized")]:
+        result = flow.compile(program, design_point, level)
+        print("  {:32s} [{}]: {:8.0f} cycles".format(design_point, level, result.cycles))
+
+    # 4. Close the loop on the nonlinear quadrotor for two seconds of flight.
+    params = crazyflie()
+    plant = Quadrotor(params, dt=0.004)
+    plant.reset(hover_state([0.3, -0.2, 0.65]))
+    goal[0:3] = [0.0, 0.0, 0.75]
+    hover = hover_input(params)
+    control_every = int(round(problem.dt / plant.dt))
+    command = hover.copy()
+    for step in range(int(2.0 / plant.dt)):
+        if step % control_every == 0:
+            command = hover + solver.solve(plant.observe(), Xref=goal).control
+        plant.step(command)
+    print("\nAfter 2 s of closed-loop flight the drone is at",
+          np.round(plant.position, 3), "(target [0, 0, 0.75])")
+
+
+if __name__ == "__main__":
+    main()

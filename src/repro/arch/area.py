@@ -1,0 +1,95 @@
+"""ASAP7-inspired area model.
+
+The paper reports post-synthesis area from the ASAP7 predictive PDK and
+plots performance against area (Figure 10).  We replace synthesis with a
+structural area model: each design point's area is estimated from the
+microarchitectural structures it instantiates (issue logic, FP units,
+re-order buffer, vector register file and lanes, systolic mesh, SRAM).
+
+The coefficients are calibrated so the paper's qualitative windows hold:
+a Rocket-class scalar core sits well under 1 mm², Gemmini-class designs in
+the 1.5-2.3 mm² window, and Saturn-class vector designs above that.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from .scalar import ScalarCoreConfig
+from .systolic import GemminiConfig
+from .vector import SaturnConfig
+
+__all__ = [
+    "scalar_core_area",
+    "vector_unit_area",
+    "gemmini_area",
+    "sram_area",
+    "design_point_area",
+]
+
+# Coefficients (mm^2) for 7 nm-class structures.
+_BASE_SCALAR = 0.16          # fetch/decode/regfile/L1 of a minimal in-order core
+_PER_DECODE_WIDTH = 0.05
+_PER_ISSUE_WIDTH = 0.04
+_PER_FP_UNIT = 0.12
+_PER_MEM_PORT = 0.04
+_PER_ROB_ENTRY = 0.02
+_OOO_FIXED = 0.60            # rename/free-list/issue-select logic
+
+_VECTOR_BASE = 0.65          # sequencer + VLSU
+_PER_VLEN_BIT_REGFILE = 0.07                   # per 32 bits of VLEN (32 registers)
+_PER_DLEN_BIT_DATAPATH = 0.0065
+
+_GEMMINI_BASE = 0.25         # RoCC decoupling logic, DMA, controller
+_PER_PE = 0.045              # fp32 MAC PE
+_SRAM_MM2_PER_KB = 0.008
+
+
+def sram_area(kilobytes: float) -> float:
+    """Area of an SRAM macro of the given capacity."""
+    return max(kilobytes, 0.0) * _SRAM_MM2_PER_KB
+
+
+def scalar_core_area(config: ScalarCoreConfig) -> float:
+    """Estimated area of a scalar core (including its L1 interface)."""
+    area = _BASE_SCALAR
+    area += _PER_DECODE_WIDTH * config.decode_width
+    area += _PER_ISSUE_WIDTH * config.issue_width
+    area += _PER_FP_UNIT * config.fp_units
+    area += _PER_MEM_PORT * config.mem_ports
+    if config.out_of_order:
+        area += _OOO_FIXED + _PER_ROB_ENTRY * config.rob_entries
+    return area
+
+
+def vector_unit_area(config: SaturnConfig, include_frontend: bool = True) -> float:
+    """Estimated area of a Saturn vector unit plus (optionally) its frontend."""
+    area = _VECTOR_BASE
+    area += _PER_VLEN_BIT_REGFILE * config.vlen / 32.0
+    area += _PER_DLEN_BIT_DATAPATH * config.dlen
+    if include_frontend:
+        area += scalar_core_area(config.frontend)
+    return area
+
+
+def gemmini_area(config: GemminiConfig, include_host: bool = True) -> float:
+    """Estimated area of a Gemmini instance plus (optionally) its host core."""
+    area = _GEMMINI_BASE
+    area += _PER_PE * config.pe_count
+    area += sram_area(config.scratchpad_kb)
+    area += sram_area(config.accumulator_kb)
+    if include_host:
+        area += scalar_core_area(config.host)
+    return area
+
+
+def design_point_area(config: Union[ScalarCoreConfig, SaturnConfig, GemminiConfig]
+                      ) -> float:
+    """Dispatch to the right structural estimator for a design point."""
+    if isinstance(config, ScalarCoreConfig):
+        return scalar_core_area(config)
+    if isinstance(config, SaturnConfig):
+        return vector_unit_area(config)
+    if isinstance(config, GemminiConfig):
+        return gemmini_area(config)
+    raise TypeError("unsupported design point type: {}".format(type(config).__name__))

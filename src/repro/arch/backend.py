@@ -1,0 +1,126 @@
+"""Backend interface and cycle reporting.
+
+Every architecture model consumes an :class:`~repro.arch.isa.InstructionStream`
+and produces a :class:`CycleReport`: total cycles, a per-kernel breakdown,
+and a per-category breakdown (compute / memory / issue / stall / overhead).
+The categories are the quantities the paper's characterization reasons about
+when explaining why an optimization helps a particular architecture.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Optional
+
+from .isa import InstructionStream
+
+__all__ = ["CycleCategory", "CycleReport", "Backend"]
+
+
+class CycleCategory:
+    """Names of cycle-accounting categories (plain constants)."""
+
+    COMPUTE = "compute"
+    MEMORY = "memory"
+    ISSUE = "issue"
+    STALL = "stall"
+    OVERHEAD = "overhead"
+
+    ALL = (COMPUTE, MEMORY, ISSUE, STALL, OVERHEAD)
+
+
+@dataclass
+class CycleReport:
+    """Timing result of running an instruction stream on a backend."""
+
+    backend: str
+    total_cycles: float
+    cycles_by_kernel: Dict[str, float] = field(default_factory=dict)
+    cycles_by_category: Dict[str, float] = field(default_factory=dict)
+    instruction_count: int = 0
+    flops: int = 0
+
+    # -- derived metrics ------------------------------------------------------
+    def flops_per_cycle(self) -> float:
+        if self.total_cycles <= 0:
+            return 0.0
+        return self.flops / self.total_cycles
+
+    def utilization(self, peak_flops_per_cycle: float) -> float:
+        """Achieved fraction of the backend's peak FLOP throughput."""
+        if peak_flops_per_cycle <= 0:
+            return 0.0
+        return min(self.flops_per_cycle() / peak_flops_per_cycle, 1.0)
+
+    def kernel_cycles(self, kernel: str) -> float:
+        return self.cycles_by_kernel.get(kernel, 0.0)
+
+    def category_fraction(self, category: str) -> float:
+        if self.total_cycles <= 0:
+            return 0.0
+        return self.cycles_by_category.get(category, 0.0) / self.total_cycles
+
+    def latency_seconds(self, frequency_hz: float) -> float:
+        """Wall-clock latency when the backend runs at a clock frequency."""
+        if frequency_hz <= 0:
+            raise ValueError("frequency must be positive")
+        return self.total_cycles / frequency_hz
+
+    def scaled(self, factor: float) -> "CycleReport":
+        """Report for ``factor`` repetitions of the same stream (e.g. ADMM
+        iterations per solve)."""
+        return CycleReport(
+            backend=self.backend,
+            total_cycles=self.total_cycles * factor,
+            cycles_by_kernel={k: v * factor for k, v in self.cycles_by_kernel.items()},
+            cycles_by_category={k: v * factor for k, v in self.cycles_by_category.items()},
+            instruction_count=int(self.instruction_count * factor),
+            flops=int(self.flops * factor),
+        )
+
+    def merged(self, other: "CycleReport") -> "CycleReport":
+        """Concatenate two reports (e.g. per-kernel reports into a solve)."""
+        merged_kernels = dict(self.cycles_by_kernel)
+        for key, value in other.cycles_by_kernel.items():
+            merged_kernels[key] = merged_kernels.get(key, 0.0) + value
+        merged_categories = dict(self.cycles_by_category)
+        for key, value in other.cycles_by_category.items():
+            merged_categories[key] = merged_categories.get(key, 0.0) + value
+        return CycleReport(
+            backend=self.backend,
+            total_cycles=self.total_cycles + other.total_cycles,
+            cycles_by_kernel=merged_kernels,
+            cycles_by_category=merged_categories,
+            instruction_count=self.instruction_count + other.instruction_count,
+            flops=self.flops + other.flops,
+        )
+
+
+class Backend(abc.ABC):
+    """Common interface for the scalar, vector, and systolic timing models."""
+
+    name: str = "backend"
+
+    @abc.abstractmethod
+    def run(self, stream: InstructionStream) -> CycleReport:
+        """Time an instruction stream."""
+
+    @property
+    @abc.abstractmethod
+    def peak_flops_per_cycle(self) -> float:
+        """Ideal FLOP throughput of the backend's datapath."""
+
+    # -- shared helpers --------------------------------------------------------
+    @staticmethod
+    def _accumulate(report: CycleReport, kernel: str, category: str,
+                    cycles: float) -> None:
+        report.total_cycles += cycles
+        report.cycles_by_kernel[kernel] = report.cycles_by_kernel.get(kernel, 0.0) + cycles
+        report.cycles_by_category[category] = (
+            report.cycles_by_category.get(category, 0.0) + cycles)
+
+    def run_kernels(self, stream: InstructionStream) -> Dict[str, CycleReport]:
+        """Per-kernel reports (convenience for kernel-level figures)."""
+        return {kernel: self.run(stream.filter_kernel(kernel))
+                for kernel in stream.kernels()}

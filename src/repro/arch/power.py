@@ -1,0 +1,59 @@
+"""SoC power model.
+
+The paper measures SoC power directly with a bench supply and reports that
+compute contributes roughly 1-5 % of total system power, growing with clock
+frequency (Figure 16c).  We model SoC power as leakage plus a dynamic term
+proportional to frequency, silicon area, and activity (the fraction of time
+the control task keeps the core busy), with a mild voltage-scaling term at
+high frequency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["SoCPowerModel"]
+
+
+@dataclass(frozen=True)
+class SoCPowerModel:
+    """Frequency/area/activity-scaled SoC power (watts)."""
+
+    leakage_w: float = 0.010
+    dynamic_w_per_mhz_mm2: float = 1.1e-4
+    idle_activity: float = 0.18            # clock tree + uncore when idle
+    uncore_area_mm2: float = 0.8           # IO, bus, memory controller
+    # Above this frequency the supply voltage must rise, super-linearly
+    # increasing dynamic power (simple alpha-power approximation).
+    nominal_frequency_mhz: float = 250.0
+    voltage_scaling_exponent: float = 0.35
+
+    def _voltage_factor(self, frequency_mhz: float) -> float:
+        if frequency_mhz <= self.nominal_frequency_mhz:
+            return 1.0
+        ratio = frequency_mhz / self.nominal_frequency_mhz
+        return ratio ** self.voltage_scaling_exponent
+
+    def power(self, frequency_mhz: float, core_area_mm2: float,
+              activity: float = 1.0) -> float:
+        """SoC power in watts at a frequency, core area, and activity factor.
+
+        ``activity`` is the busy fraction of the core (0-1); the idle
+        fraction still burns ``idle_activity`` of the dynamic power.
+        """
+        if frequency_mhz < 0:
+            raise ValueError("frequency must be non-negative")
+        activity = min(max(activity, 0.0), 1.0)
+        effective_activity = activity + (1.0 - activity) * self.idle_activity
+        area = core_area_mm2 + self.uncore_area_mm2
+        dynamic = (self.dynamic_w_per_mhz_mm2 * frequency_mhz * area
+                   * effective_activity * self._voltage_factor(frequency_mhz))
+        return self.leakage_w + dynamic
+
+    def energy_per_solve(self, frequency_mhz: float, core_area_mm2: float,
+                         solve_cycles: float) -> float:
+        """Energy (joules) to run one MPC solve at full activity."""
+        if frequency_mhz <= 0:
+            raise ValueError("frequency must be positive")
+        solve_seconds = solve_cycles / (frequency_mhz * 1e6)
+        return self.power(frequency_mhz, core_area_mm2, activity=1.0) * solve_seconds

@@ -1,0 +1,188 @@
+"""Gemmini systolic-array timing model.
+
+Gemmini is a decoupled accelerator driven over the RoCC interface by a
+scalar host core.  The model captures the costs the paper's optimization
+study manipulates (Section 4.2):
+
+* **RoCC construction cost** — the host spends cycles bit-shifting operands
+  into RoCC instruction arguments; static mapping (compile-time addresses)
+  shrinks this cost, and CISC instructions need several configuration
+  commands before execution can start;
+* **data staging** — mvin/mvout through DRAM is expensive; keeping the
+  solver workspace scratchpad-resident avoids the round trips;
+* **fences** — Gemmini's ROB does not track RAW hazards across memory
+  operations, so explicit fences are required and stall the host for
+  hundreds of cycles (the paper observed up to ~600);
+* **mesh execution** — an output-stationary dataflow accumulates in the PEs
+  and eliminates the separate accumulator memory; small control-sized tiles
+  underutilize the mesh;
+* **activation/pooling engines** — ReLU implements abs/clip, max-pooling on
+  mvout shrinks the reduction the host must finish (Section 4.2.6).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+from typing import Optional
+
+from .backend import Backend, CycleCategory, CycleReport
+from .isa import GemminiInstruction, GemminiOpcode, InstructionStream
+from .memory import MemoryModel
+from .scalar import ROCKET, ScalarCoreConfig
+
+__all__ = ["GemminiConfig", "GemminiModel"]
+
+
+@dataclass(frozen=True)
+class GemminiConfig:
+    """Parameters of a Gemmini instance and its host core."""
+
+    name: str
+    mesh_rows: int = 4
+    mesh_cols: int = 4
+    dataflow: str = "OS"                # "OS" (output-stationary) or "WS"
+    scratchpad_kb: int = 64
+    accumulator_kb: int = 0             # OS designs need no accumulator memory
+    host: ScalarCoreConfig = ROCKET
+    has_activation_engine: bool = True  # ReLU / scaling on the output path
+    has_pooling_engine: bool = True
+    rocc_construction_cycles: float = 22.0   # dynamic argument construction (bit shifting)
+    rocc_static_cycles: float = 3.0          # with compile-time static mapping
+    rocc_issue_cycles: float = 1.0
+    cisc_expansion_cycles: float = 4.0       # per CISC command sequencing overhead
+    fence_stall_cycles: float = 200.0
+    mesh_pipeline_latency: float = 5.0
+    host_cycles_per_flop: float = 2.2        # fallback scalar work on the host
+    area_mm2: float = 1.9
+
+    def __post_init__(self) -> None:
+        if self.dataflow not in ("OS", "WS"):
+            raise ValueError("dataflow must be 'OS' or 'WS'")
+
+    @property
+    def pe_count(self) -> int:
+        return self.mesh_rows * self.mesh_cols
+
+    @property
+    def peak_flops_per_cycle(self) -> float:
+        return 2.0 * self.pe_count
+
+    def with_host(self, host: ScalarCoreConfig, name: Optional[str] = None
+                  ) -> "GemminiConfig":
+        return replace(self, host=host,
+                       name=name or "{}+{}".format(self.name, host.name))
+
+
+class GemminiModel(Backend):
+    """Analytical timing model for Gemmini driven over RoCC."""
+
+    def __init__(self, config: GemminiConfig,
+                 memory: Optional[MemoryModel] = None) -> None:
+        self.config = config
+        self.memory = memory or MemoryModel()
+        self.name = config.name
+
+    # -- Backend interface ----------------------------------------------------------
+    @property
+    def peak_flops_per_cycle(self) -> float:
+        return self.config.peak_flops_per_cycle
+
+    def run(self, stream: InstructionStream) -> CycleReport:
+        report = CycleReport(backend=self.name, total_cycles=0.0)
+        for instruction in stream:
+            if not isinstance(instruction, GemminiInstruction):
+                raise TypeError(
+                    "{} can only execute GemminiInstruction, got {}".format(
+                        self.name, type(instruction).__name__))
+            self._run_instruction(instruction, report)
+            report.instruction_count += 1
+            report.flops += self._flops_of(instruction)
+        return report
+
+    # -- internals --------------------------------------------------------------------
+    @staticmethod
+    def _flops_of(instruction: GemminiInstruction) -> int:
+        if instruction.opcode is GemminiOpcode.COMPUTE:
+            inner = max(instruction.inner, 1)
+            return 2 * instruction.rows * instruction.cols * inner
+        if instruction.opcode is GemminiOpcode.CPU_OP:
+            return instruction.cpu_flops
+        return 0
+
+    def _host_construction(self, instruction: GemminiInstruction) -> float:
+        """Cycles the host spends constructing and issuing one RoCC command."""
+        config = self.config
+        build = (config.rocc_static_cycles if instruction.statically_mapped
+                 else config.rocc_construction_cycles)
+        build /= max(config.host.decode_width, 1)
+        return build + config.rocc_issue_cycles
+
+    def _run_instruction(self, instruction: GemminiInstruction,
+                         report: CycleReport) -> None:
+        config = self.config
+        kernel = instruction.kernel
+        opcode = instruction.opcode
+
+        if opcode is GemminiOpcode.CPU_OP:
+            cycles = instruction.cpu_flops * config.host_cycles_per_flop
+            cycles /= max(config.host.decode_width, 1)
+            self._accumulate(report, kernel, CycleCategory.OVERHEAD, cycles)
+            return
+
+        if opcode is GemminiOpcode.FENCE:
+            self._accumulate(report, kernel, CycleCategory.STALL,
+                             config.fence_stall_cycles)
+            return
+
+        # Every RoCC command pays the host construction/issue cost.
+        issue = self._host_construction(instruction)
+        if instruction.cisc:
+            issue += config.cisc_expansion_cycles
+        self._accumulate(report, kernel, CycleCategory.ISSUE, issue)
+
+        if opcode is GemminiOpcode.CONFIG:
+            # Configuration is pure host-side work already charged above.
+            return
+
+        if opcode in (GemminiOpcode.MVIN, GemminiOpcode.MVOUT):
+            num_bytes = instruction.rows * max(instruction.cols, 1) * 4
+            if instruction.dram:
+                cycles = self.memory.dram_access_cycles(num_bytes)
+            else:
+                cycles = self.memory.scratchpad_access_cycles(num_bytes)
+                # Vectors stored down a single scratchpad column load one
+                # element per cycle (Section 4.2.4).
+                if instruction.cols == 1:
+                    cycles = max(cycles, float(instruction.rows))
+            if instruction.pool_factor > 1:
+                cycles += 1.0   # pooling adds a pipeline stage on the way out
+            self._accumulate(report, kernel, CycleCategory.MEMORY, cycles)
+            return
+
+        if opcode is GemminiOpcode.PRELOAD:
+            self._accumulate(report, kernel, CycleCategory.MEMORY,
+                             float(config.mesh_rows))
+            return
+
+        if opcode is GemminiOpcode.COMPUTE:
+            rows = max(instruction.rows, 1)
+            cols = max(instruction.cols, 1)
+            inner = max(instruction.inner, 1)
+            # The mesh processes a (mesh_rows x mesh_cols) tile per pass; the
+            # pass takes `inner` beats plus pipeline fill/drain.
+            row_tiles = math.ceil(rows / config.mesh_rows)
+            col_tiles = math.ceil(cols / config.mesh_cols)
+            per_tile = inner + config.mesh_pipeline_latency
+            if config.dataflow == "WS":
+                # Weight-stationary designs re-load weights per tile and
+                # drain partial sums through the accumulator.
+                per_tile += config.mesh_rows + 2.0
+            cycles = row_tiles * col_tiles * per_tile
+            if instruction.uses_activation and not config.has_activation_engine:
+                # Without the engine the activation falls back to the host.
+                cycles += rows * cols * config.host_cycles_per_flop
+            self._accumulate(report, kernel, CycleCategory.COMPUTE, cycles)
+            return
+
+        raise ValueError("unhandled Gemmini opcode: {}".format(opcode))

@@ -1,0 +1,170 @@
+"""Saturn vector-unit timing model.
+
+Saturn is a short-vector RVV 1.0 implementation driven by a scalar frontend
+(Rocket or Shuttle).  The model captures the effects the paper's
+characterization identifies as first-order for control workloads:
+
+* **datapath occupancy** — a vector instruction occupies the datapath for
+  ``ceil(elements * sew / DLEN)`` cycles;
+* **register grouping (LMUL)** — grouping lets one instruction cover more
+  elements (fewer instructions to issue, good for long elementwise
+  kernels), but the sequencer occupies the datapath for the whole register
+  group, which wastes cycles when TinyMPC's tiny vectors (4 and 12
+  elements) leave groups mostly empty (Figure 4);
+* **frontend coupling** — every vector instruction (and its scalar
+  address/bookkeeping companions) must be issued by the scalar frontend, so
+  a single-issue Rocket starves the vector unit that a dual-issue Shuttle
+  can feed (Figure 11);
+* **dependence chains** — serial GEMV accumulation chains expose the vector
+  pipeline latency because back-to-back dependent instructions cannot
+  chain.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+from typing import Optional
+
+from .backend import Backend, CycleCategory, CycleReport
+from .isa import InstructionStream, VectorInstruction, VectorOpcode
+from .memory import MemoryModel
+from .scalar import ROCKET, SHUTTLE, ScalarCoreConfig
+
+__all__ = ["SaturnConfig", "SaturnModel"]
+
+
+@dataclass(frozen=True)
+class SaturnConfig:
+    """Parameters of a Saturn vector unit and its scalar frontend."""
+
+    name: str
+    vlen: int = 512                      # bits per vector register
+    dlen: int = 256                      # datapath bits processed per cycle
+    frontend: ScalarCoreConfig = ROCKET
+    vector_pipeline_latency: float = 5.0  # cycles before a result can be consumed
+    memory_port_bytes: int = 32           # VLSU bytes per cycle
+    vsetvl_cycles: float = 1.0
+    area_mm2: float = 2.4
+
+    @property
+    def lanes_fp32(self) -> int:
+        """Number of fp32 elements processed per cycle."""
+        return self.dlen // 32
+
+    @property
+    def peak_flops_per_cycle(self) -> float:
+        return 2.0 * self.lanes_fp32
+
+    def with_frontend(self, frontend: ScalarCoreConfig, name: Optional[str] = None
+                      ) -> "SaturnConfig":
+        return replace(self, frontend=frontend,
+                       name=name or "{}+{}".format(self.name, frontend.name))
+
+
+class SaturnModel(Backend):
+    """Analytical timing model for the Saturn vector unit."""
+
+    def __init__(self, config: SaturnConfig,
+                 memory: Optional[MemoryModel] = None) -> None:
+        self.config = config
+        self.memory = memory or MemoryModel()
+        self.name = config.name
+
+    # -- Backend interface -------------------------------------------------------
+    @property
+    def peak_flops_per_cycle(self) -> float:
+        return self.config.peak_flops_per_cycle
+
+    def run(self, stream: InstructionStream) -> CycleReport:
+        report = CycleReport(backend=self.name, total_cycles=0.0)
+        for instruction in stream:
+            if not isinstance(instruction, VectorInstruction):
+                raise TypeError(
+                    "{} can only execute VectorInstruction, got {}".format(
+                        self.name, type(instruction).__name__))
+            self._run_instruction(instruction, report)
+            report.instruction_count += 1
+            report.flops += self._flops_of(instruction)
+        return report
+
+    # -- internals ------------------------------------------------------------------
+    @staticmethod
+    def _flops_of(instruction: VectorInstruction) -> int:
+        if instruction.opcode is VectorOpcode.VMACC:
+            return 2 * instruction.elements
+        if instruction.opcode in (VectorOpcode.VARITH, VectorOpcode.VREDUCE):
+            return instruction.elements
+        return 0
+
+    def _issue_cycles(self, scalar_companions: float = 0.0) -> float:
+        """Frontend cycles needed to issue one vector instruction.
+
+        A dual-issue Shuttle frontend can issue the vector instruction and
+        one scalar companion in the same cycle; a single-issue Rocket
+        serializes them.
+        """
+        width = max(self.config.frontend.decode_width, 1)
+        return (1.0 + scalar_companions) / width
+
+    def _occupancy_cycles(self, instruction: VectorInstruction) -> float:
+        """Datapath cycles the instruction occupies."""
+        config = self.config
+        element_bits = instruction.element_bytes * 8
+        useful_bits = instruction.elements * element_bits
+        # The sequencer walks the whole register group: with LMUL > 1 the
+        # instruction occupies ceil(LMUL * VLEN / DLEN) cycles even if only a
+        # few elements are valid, which is the Figure 4 penalty for tiny
+        # vectors.  With LMUL = 1 only the valid elements are processed.
+        if instruction.lmul > 1:
+            group_bits = instruction.lmul * config.vlen
+            occupied_bits = min(group_bits, max(useful_bits, config.dlen))
+            occupied_bits = max(occupied_bits, instruction.lmul * config.dlen)
+        else:
+            occupied_bits = useful_bits
+        return max(math.ceil(occupied_bits / config.dlen), 1)
+
+    def _run_instruction(self, instruction: VectorInstruction,
+                         report: CycleReport) -> None:
+        config = self.config
+        kernel = instruction.kernel
+        opcode = instruction.opcode
+
+        if opcode is VectorOpcode.SCALAR:
+            # Scalar bookkeeping executed on the frontend (address generation,
+            # scalar operands for vfmacc.vf, loop control).
+            cycles = instruction.elements / max(config.frontend.decode_width, 1)
+            self._accumulate(report, kernel, CycleCategory.ISSUE, cycles)
+            return
+
+        if opcode is VectorOpcode.VSETVL:
+            self._accumulate(report, kernel, CycleCategory.ISSUE, config.vsetvl_cycles)
+            return
+
+        issue = self._issue_cycles()
+        self._accumulate(report, kernel, CycleCategory.ISSUE, issue)
+
+        if opcode in (VectorOpcode.VLOAD, VectorOpcode.VSTORE):
+            num_bytes = instruction.elements * instruction.element_bytes
+            # The VLSU overlaps with the arithmetic pipeline via chaining, so
+            # only a fraction of the transfer time is exposed.
+            cycles = max(0.55 * math.ceil(num_bytes / config.memory_port_bytes), 1.0)
+            cycles += 0.25
+            self._accumulate(report, kernel, CycleCategory.MEMORY, cycles)
+            return
+
+        if opcode is VectorOpcode.VREDUCE:
+            lanes = max(config.lanes_fp32, 1)
+            tree_steps = math.ceil(math.log2(max(instruction.elements, 2)))
+            cycles = math.ceil(instruction.elements / lanes) + tree_steps
+            self._accumulate(report, kernel, CycleCategory.COMPUTE, cycles)
+            return
+
+        # VARITH / VMACC
+        occupancy = self._occupancy_cycles(instruction)
+        self._accumulate(report, kernel, CycleCategory.COMPUTE, occupancy)
+        if instruction.sequential_dependency:
+            # Back-to-back dependent vector instructions cannot chain; the
+            # consumer waits for the producer to clear the pipeline.
+            exposed = max(config.vector_pipeline_latency - occupancy, 0.0)
+            self._accumulate(report, kernel, CycleCategory.STALL, exposed)

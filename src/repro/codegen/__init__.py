@@ -1,0 +1,31 @@
+"""Automated code generation: optimization passes, backend lowering, and the
+end-to-end compile-and-time flow (paper Section 4.3)."""
+
+from .passes import (
+    FusionReport,
+    ScratchpadPlan,
+    count_redundant_configs,
+    fuse_elementwise,
+    plan_scratchpad_residency,
+)
+from .lower_scalar import ScalarLoweringOptions, lower_scalar
+from .lower_vector import VectorLoweringOptions, lower_vector
+from .lower_gemmini import GemminiLoweringOptions, lower_gemmini
+from .flow import OPTIMIZATION_LEVELS, CodegenFlow, CompilationResult
+
+__all__ = [
+    "FusionReport",
+    "ScratchpadPlan",
+    "count_redundant_configs",
+    "fuse_elementwise",
+    "plan_scratchpad_residency",
+    "ScalarLoweringOptions",
+    "lower_scalar",
+    "VectorLoweringOptions",
+    "lower_vector",
+    "GemminiLoweringOptions",
+    "lower_gemmini",
+    "OPTIMIZATION_LEVELS",
+    "CodegenFlow",
+    "CompilationResult",
+]

@@ -1,0 +1,153 @@
+"""End-to-end code-generation flow.
+
+``CodegenFlow`` turns a matlib program into a timed backend binary: it picks
+the lowering for the target design point's category, applies the requested
+optimization level (the named levels correspond to the paper's software
+variants), and runs the resulting instruction stream through the backend
+timing model.
+
+Optimization levels
+-------------------
+
+scalar   : ``library`` (out-of-box matlib C), ``eigen`` (hand-optimized)
+vector   : ``library``, ``unrolled``, ``fused`` (Section 4.1), each
+           optionally with an LMUL register-grouping setting
+systolic : ``library``, ``cisc``, ``static`` (unroll + static mapping),
+           ``scratchpad`` (+ scratchpad-resident), ``elementwise``
+           (+ activation/scaling engines), ``optimized`` (+ pooling)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Union
+
+from ..arch.backend import Backend, CycleReport
+from ..arch.configs import DesignPoint, get_design_point
+from ..arch.isa import InstructionStream
+from ..matlib import MatlibProgram
+from .lower_gemmini import GemminiLoweringOptions, lower_gemmini
+from .lower_scalar import ScalarLoweringOptions, lower_scalar
+from .lower_vector import VectorLoweringOptions, lower_vector
+from .passes import fuse_elementwise
+
+__all__ = ["CompilationResult", "CodegenFlow", "OPTIMIZATION_LEVELS"]
+
+
+OPTIMIZATION_LEVELS: Dict[str, tuple] = {
+    "scalar": ("library", "eigen"),
+    "vector": ("library", "unrolled", "fused"),
+    "systolic": ("library", "cisc", "static", "scratchpad", "elementwise", "optimized"),
+}
+
+
+@dataclass
+class CompilationResult:
+    """A lowered instruction stream plus its timing report."""
+
+    design_point: DesignPoint
+    level: str
+    program: MatlibProgram
+    stream: InstructionStream
+    report: CycleReport
+
+    @property
+    def cycles(self) -> float:
+        return self.report.total_cycles
+
+    def speedup_over(self, baseline: "CompilationResult") -> float:
+        if self.cycles <= 0:
+            return float("inf")
+        return baseline.cycles / self.cycles
+
+
+class CodegenFlow:
+    """Compile matlib programs for a design point at an optimization level."""
+
+    def __init__(self, lmul: int = 1) -> None:
+        self.lmul = lmul
+
+    # -- lowering -----------------------------------------------------------------
+    def lower(self, program: MatlibProgram, design_point: Union[str, DesignPoint],
+              level: str, lmul: Optional[int] = None,
+              sync_granularity: Optional[int] = None) -> InstructionStream:
+        point = self._resolve(design_point)
+        category = point.category
+        valid = OPTIMIZATION_LEVELS[category]
+        if level not in valid:
+            raise ValueError("level {!r} is not valid for {} backends; pick one of {}".format(
+                level, category, ", ".join(valid)))
+
+        if category == "scalar":
+            options = ScalarLoweringOptions(style=level)
+            return lower_scalar(program, options)
+
+        if category == "vector":
+            lmul = lmul if lmul is not None else self.lmul
+            vlen = point.config.vlen
+            if level == "library":
+                options = VectorLoweringOptions.library(lmul=lmul, vlen=vlen)
+                return lower_vector(program, options)
+            if level == "unrolled":
+                options = VectorLoweringOptions.unrolled(lmul=lmul, vlen=vlen)
+                return lower_vector(program, options)
+            # fused: operator fusion at the program level plus register-resident
+            # temporaries at the lowering level.
+            fused = fuse_elementwise(program).program
+            options = VectorLoweringOptions.fused(lmul=lmul, vlen=vlen)
+            return lower_vector(fused, options)
+
+        # systolic
+        factories = {
+            "library": GemminiLoweringOptions.library,
+            "cisc": GemminiLoweringOptions.cisc,
+            "static": GemminiLoweringOptions.unrolled_static,
+            "scratchpad": GemminiLoweringOptions.scratchpad,
+            "elementwise": GemminiLoweringOptions.elementwise_engines,
+            "optimized": GemminiLoweringOptions.optimized,
+        }
+        options = factories[level]()
+        if sync_granularity is not None:
+            from dataclasses import replace
+            options = replace(options, sync_granularity=sync_granularity)
+        options = self._match_scratchpad(options, point)
+        return lower_gemmini(program, options)
+
+    # -- compile + time --------------------------------------------------------------
+    def compile(self, program: MatlibProgram, design_point: Union[str, DesignPoint],
+                level: str, backend: Optional[Backend] = None,
+                **lower_kwargs) -> CompilationResult:
+        point = self._resolve(design_point)
+        stream = self.lower(program, point, level, **lower_kwargs)
+        backend = backend or point.backend()
+        report = backend.run(stream)
+        return CompilationResult(design_point=point, level=level, program=program,
+                                 stream=stream, report=report)
+
+    def best_level(self, program: MatlibProgram,
+                   design_point: Union[str, DesignPoint]) -> CompilationResult:
+        """Compile at every level and return the fastest result."""
+        point = self._resolve(design_point)
+        results = [self.compile(program, point, level)
+                   for level in OPTIMIZATION_LEVELS[point.category]]
+        return min(results, key=lambda result: result.cycles)
+
+    # -- helpers ------------------------------------------------------------------------
+    @staticmethod
+    def _resolve(design_point: Union[str, DesignPoint]) -> DesignPoint:
+        if isinstance(design_point, DesignPoint):
+            return design_point
+        return get_design_point(design_point)
+
+    @staticmethod
+    def _match_scratchpad(options: GemminiLoweringOptions,
+                          point: DesignPoint) -> GemminiLoweringOptions:
+        from dataclasses import replace
+        scratchpad_kb = getattr(point.config, "scratchpad_kb", None)
+        mesh = getattr(point.config, "mesh_rows", None)
+        updates = {}
+        if scratchpad_kb is not None:
+            updates["scratchpad_kb"] = scratchpad_kb
+        if mesh is not None:
+            updates["mesh_dim"] = mesh
+        return replace(options, **updates) if updates else options

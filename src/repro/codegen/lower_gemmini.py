@@ -1,0 +1,272 @@
+"""Lowering matlib programs to Gemmini RoCC command streams.
+
+The lowering exposes every optimization of Section 4.2 as a knob so the
+benchmarks can reproduce the paper's ablations:
+
+* ``static_mapping``          — compile-time address/index computation
+                                 (Section 4.2.1);
+* ``eliminate_redundant_config`` — reuse accelerator configuration across
+                                 same-shaped operations (Section 4.2.2);
+* ``use_cisc``                — drive Gemmini through its CISC interface
+                                 instead of fine-grained commands
+                                 (Section 4.2.3; poor fit for small tiles);
+* ``scratchpad_resident``     — pin the solver workspace in the scratchpad
+                                 and keep intermediate results there
+                                 (Section 4.2.4);
+* ``use_activation_engine``   — ReLU-based abs/clip so elementwise work can
+                                 run on the mesh (Section 4.2.6);
+* ``use_pooling``             — max-pooling on mvout to shrink the residual
+                                 reductions left for the CPU (Section 4.2.6);
+* ``sync_granularity``        — how much work is offloaded between CPU
+                                 synchronization points (Figure 9).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional, Set, Tuple
+
+from ..arch.isa import GemminiInstruction, GemminiOpcode, InstructionStream
+from ..matlib import MatlibProgram, OpKind, OpRecord
+from .passes import ScratchpadPlan, plan_scratchpad_residency
+
+__all__ = ["GemminiLoweringOptions", "lower_gemmini"]
+
+
+@dataclass(frozen=True)
+class GemminiLoweringOptions:
+    """Knobs for Gemmini lowering."""
+
+    mesh_dim: int = 4
+    static_mapping: bool = False
+    eliminate_redundant_config: bool = False
+    use_cisc: bool = False
+    scratchpad_resident: bool = False
+    use_activation_engine: bool = False
+    use_pooling: bool = False
+    pool_factor: int = 4
+    # Number of matlib operators offloaded between CPU synchronization
+    # points; larger granularity means fewer fences (Figure 9).
+    sync_granularity: int = 1
+    scratchpad_kb: int = 64
+
+    def __post_init__(self) -> None:
+        if self.mesh_dim < 1:
+            raise ValueError("mesh_dim must be positive")
+        if self.sync_granularity < 1:
+            raise ValueError("sync_granularity must be >= 1")
+
+    # -- canned configurations -------------------------------------------------
+    @classmethod
+    def library(cls) -> "GemminiLoweringOptions":
+        """Out-of-box mapping: dynamic addressing, DRAM staging, per-op fences."""
+        return cls()
+
+    @classmethod
+    def cisc(cls) -> "GemminiLoweringOptions":
+        """CISC-instruction mapping typical of DNN deployments."""
+        return cls(use_cisc=True)
+
+    @classmethod
+    def unrolled_static(cls) -> "GemminiLoweringOptions":
+        """Software unrolling plus compile-time static mapping (Fig. 6)."""
+        return cls(static_mapping=True, eliminate_redundant_config=True)
+
+    @classmethod
+    def scratchpad(cls) -> "GemminiLoweringOptions":
+        """Static mapping plus scratchpad-resident intermediates (Fig. 7)."""
+        return cls(static_mapping=True, eliminate_redundant_config=True,
+                   scratchpad_resident=True, sync_granularity=8)
+
+    @classmethod
+    def optimized(cls) -> "GemminiLoweringOptions":
+        """The paper's full optimization stack (Fig. 12 'pool' bars)."""
+        return cls(static_mapping=True, eliminate_redundant_config=True,
+                   scratchpad_resident=True, use_activation_engine=True,
+                   use_pooling=True, sync_granularity=32)
+
+    @classmethod
+    def elementwise_engines(cls) -> "GemminiLoweringOptions":
+        """Scaling/activation engines but no pooling (Fig. 12 'elementwise')."""
+        return cls(static_mapping=True, eliminate_redundant_config=True,
+                   scratchpad_resident=True, use_activation_engine=True,
+                   sync_granularity=24)
+
+
+class _GemminiLowering:
+    """Stateful single-pass lowering of a matlib program to RoCC commands."""
+
+    def __init__(self, program: MatlibProgram, options: GemminiLoweringOptions) -> None:
+        self.program = program
+        self.options = options
+        self.stream = InstructionStream(backend="gemmini", name=program.name)
+        self.plan: ScratchpadPlan = plan_scratchpad_residency(
+            program, scratchpad_kb=options.scratchpad_kb)
+        self.buffers = program.buffers()
+        self.last_config: Optional[Tuple] = None
+        self.in_scratchpad: Set[str] = set(self.plan.resident_buffers
+                                           if options.scratchpad_resident else [])
+        self.ops_since_sync = 0
+
+    # -- emission helpers --------------------------------------------------------
+    def _emit(self, kernel: str, opcode: GemminiOpcode, **kwargs) -> None:
+        self.stream.append(GemminiInstruction(
+            kernel=kernel, opcode=opcode,
+            statically_mapped=self.options.static_mapping,
+            cisc=kwargs.pop("cisc", False), **kwargs))
+
+    def _emit_config(self, kernel: str, signature: Tuple, count: int = 1) -> None:
+        if (self.options.eliminate_redundant_config
+                and signature == self.last_config):
+            return
+        for _ in range(count):
+            self._emit(kernel, GemminiOpcode.CONFIG)
+        self.last_config = signature
+
+    def _maybe_fence(self, kernel: str, force: bool = False) -> None:
+        """Insert a fence at synchronization boundaries.
+
+        With DRAM staging every offloaded op must be fenced before its result
+        is reused; with scratchpad residency only CPU hand-offs need fences,
+        which the ``sync_granularity`` knob batches.
+        """
+        self.ops_since_sync += 1
+        if force or self.ops_since_sync >= self.options.sync_granularity:
+            self._emit(kernel, GemminiOpcode.FENCE)
+            self.ops_since_sync = 0
+
+    def _stage_input(self, kernel: str, name: str, shape: Tuple[int, ...]) -> None:
+        """mvin an operand unless it is already scratchpad-resident."""
+        if name in self.in_scratchpad:
+            return
+        rows = shape[0] if shape else 1
+        cols = shape[1] if len(shape) > 1 else 1
+        dram = not self.options.scratchpad_resident
+        self._emit(kernel, GemminiOpcode.MVIN, rows=rows, cols=cols, dram=dram)
+        if self.options.scratchpad_resident:
+            self.in_scratchpad.add(name)
+
+    def _retire_output(self, kernel: str, op: OpRecord, pool_factor: int = 1,
+                       uses_activation: bool = False) -> None:
+        """mvout the result; scratchpad-resident results avoid the DRAM trip."""
+        rows = op.out_shape[0] if op.out_shape else 1
+        cols = op.out_shape[1] if len(op.out_shape) > 1 else 1
+        if self.options.scratchpad_resident:
+            self._emit(kernel, GemminiOpcode.MVOUT, rows=rows, cols=cols,
+                       dram=False, pool_factor=pool_factor,
+                       uses_activation=uses_activation)
+            self.in_scratchpad.add(op.output)
+            self._maybe_fence(kernel)
+        else:
+            self._emit(kernel, GemminiOpcode.MVOUT, rows=rows, cols=cols,
+                       dram=True, pool_factor=pool_factor,
+                       uses_activation=uses_activation)
+            self._maybe_fence(kernel, force=True)
+
+    # -- per-kind lowering ----------------------------------------------------------
+    def _lower_matrix_op(self, op: OpRecord) -> None:
+        kernel = op.kernel or "<untagged>"
+        options = self.options
+        if op.name == "gemv_t":
+            rows, inner = op.shapes[0][1], op.shapes[0][0]
+            cols = 1
+        elif op.kind is OpKind.GEMM:
+            rows, inner = op.shapes[0]
+            cols = op.out_shape[1] if len(op.out_shape) > 1 else 1
+        else:
+            rows, inner = op.shapes[0]
+            cols = 1
+
+        signature = (op.shapes, op.out_shape)
+        config_count = 3 if options.use_cisc else 1
+        self._emit_config(kernel, signature, count=config_count)
+        for name, shape in zip(op.inputs, op.shapes):
+            if shape and not name.startswith("<"):
+                # CISC instructions require operands in memory.
+                if options.use_cisc:
+                    self._emit(kernel, GemminiOpcode.MVIN,
+                               rows=shape[0], cols=shape[1] if len(shape) > 1 else 1,
+                               dram=True, cisc=True)
+                else:
+                    self._stage_input(kernel, name, shape)
+        self._emit(kernel, GemminiOpcode.PRELOAD, rows=min(rows, options.mesh_dim),
+                   cols=min(cols, options.mesh_dim))
+        self._emit(kernel, GemminiOpcode.COMPUTE, rows=rows, cols=cols, inner=inner,
+                   cisc=options.use_cisc)
+        self._retire_output(kernel, op)
+
+    def _lower_elementwise(self, op: OpRecord) -> None:
+        kernel = op.kernel or "<untagged>"
+        options = self.options
+        elements = max(op.output_elements, 1)
+        if not options.use_activation_engine:
+            # Fall back to the CPU: the data must be synchronized out first.
+            if options.scratchpad_resident:
+                self._emit(kernel, GemminiOpcode.MVOUT,
+                           rows=elements, cols=1, dram=False)
+            self._maybe_fence(kernel, force=True)
+            self._emit(kernel, GemminiOpcode.CPU_OP, cpu_flops=max(op.flops, elements))
+            return
+        # Elementwise work on the mesh: multiply by a resident identity (or
+        # scaled identity) with a fused ReLU; abs and clip need two passes.
+        passes = 2 if op.name in ("abs", "clip", "axpy", "sub_scaled") else 1
+        rows = max(-(-elements // options.mesh_dim), 1)
+        signature = ("elementwise", elements)
+        self._emit_config(kernel, signature)
+        for name, shape in zip(op.inputs, op.shapes):
+            if shape and not name.startswith("<"):
+                self._stage_input(kernel, name, shape)
+        for _ in range(passes):
+            self._emit(kernel, GemminiOpcode.COMPUTE, rows=rows,
+                       cols=options.mesh_dim, inner=1, uses_activation=True)
+        self._retire_output(kernel, op, uses_activation=True)
+
+    def _lower_reduction(self, op: OpRecord) -> None:
+        kernel = op.kernel or "<untagged>"
+        options = self.options
+        elements = max(max((max(s) if s else 1) for s in op.shapes), 1) if op.shapes else 1
+        if options.use_pooling:
+            # Pooled residual reductions are batched: results accumulate in a
+            # pooled output region and the CPU synchronizes once per residual
+            # kernel rather than per knot point (the fence comes from the
+            # regular sync-granularity policy).
+            pooled = max(elements // options.pool_factor, 1)
+            self._emit(kernel, GemminiOpcode.MVOUT, rows=elements, cols=1,
+                       dram=not options.scratchpad_resident,
+                       pool_factor=options.pool_factor)
+            self._maybe_fence(kernel)
+            self._emit(kernel, GemminiOpcode.CPU_OP, cpu_flops=2 * pooled)
+        else:
+            self._emit(kernel, GemminiOpcode.MVOUT, rows=elements, cols=1,
+                       dram=not options.scratchpad_resident)
+            self._maybe_fence(kernel, force=True)
+            self._emit(kernel, GemminiOpcode.CPU_OP, cpu_flops=2 * elements)
+
+    def _lower_data_movement(self, op: OpRecord) -> None:
+        kernel = op.kernel or "<untagged>"
+        elements = max(op.output_elements, 1)
+        self._emit(kernel, GemminiOpcode.MVIN, rows=elements, cols=1,
+                   dram=not self.options.scratchpad_resident)
+
+    # -- driver --------------------------------------------------------------------
+    def lower(self) -> InstructionStream:
+        for op in self.program.ops:
+            if op.kind in (OpKind.GEMV, OpKind.GEMM):
+                self._lower_matrix_op(op)
+            elif op.kind is OpKind.ELEMENTWISE:
+                self._lower_elementwise(op)
+            elif op.kind is OpKind.REDUCTION:
+                self._lower_reduction(op)
+            elif op.kind is OpKind.DATA_MOVEMENT:
+                self._lower_data_movement(op)
+            else:
+                self._emit(op.kernel or "<untagged>", GemminiOpcode.CPU_OP,
+                           cpu_flops=max(op.flops, 1))
+        return self.stream
+
+
+def lower_gemmini(program: MatlibProgram,
+                  options: GemminiLoweringOptions = GemminiLoweringOptions()
+                  ) -> InstructionStream:
+    """Lower a matlib program to a Gemmini RoCC command stream."""
+    return _GemminiLowering(program, options).lower()

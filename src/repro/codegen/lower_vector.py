@@ -1,0 +1,246 @@
+"""Lowering matlib programs to RVV (Saturn) instruction streams.
+
+The lowering models the three software styles the paper compares on vector
+hardware (Section 4.1):
+
+* **library** — out-of-box vectorized matlib: every operator call loads its
+  operands with RVV load intrinsics, computes, and stores the result back,
+  with per-call ``vsetvl`` and scalar bookkeeping;
+* **unrolled** — aggressive software loop unrolling: scalar bookkeeping is
+  amortized, GEMV accumulation chains are split across multiple
+  accumulators so dependent latency is hidden;
+* **fused** — operator fusion on top of unrolling: single-use temporaries
+  stay in vector registers, removing the store/re-load round trips between
+  matlib calls.
+
+Register grouping (LMUL) is an orthogonal knob: it reduces the number of
+instructions for long elementwise vectors but occupies the datapath for the
+whole register group, which hurts the small iterative kernels (Figure 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..arch.isa import InstructionStream, VectorInstruction, VectorOpcode
+from ..matlib import MatlibProgram, OpKind, OpRecord
+
+__all__ = ["VectorLoweringOptions", "lower_vector"]
+
+
+@dataclass(frozen=True)
+class VectorLoweringOptions:
+    """Knobs for RVV lowering."""
+
+    lmul: int = 1
+    unroll_factor: int = 1
+    keep_temporaries_in_registers: bool = False
+    elide_redundant_vsetvl: bool = False
+    vlen: int = 512
+    element_bytes: int = 4
+    # Scalar instructions spent per matlib call on the frontend (function
+    # call, runtime vl computation, pointer setup, strip-mine loop control).
+    # Hand-written / generated code is inlined and statically addressed.
+    call_overhead_scalars: float = 70.0
+
+    def __post_init__(self) -> None:
+        if self.lmul not in (1, 2, 4, 8):
+            raise ValueError("lmul must be 1, 2, 4, or 8")
+        if self.unroll_factor < 1:
+            raise ValueError("unroll_factor must be >= 1")
+
+    @property
+    def max_elements_per_instruction(self) -> int:
+        return self.lmul * self.vlen // (self.element_bytes * 8)
+
+    @classmethod
+    def library(cls, lmul: int = 1, vlen: int = 512) -> "VectorLoweringOptions":
+        return cls(lmul=lmul, vlen=vlen)
+
+    @classmethod
+    def unrolled(cls, lmul: int = 1, vlen: int = 512) -> "VectorLoweringOptions":
+        return cls(lmul=lmul, unroll_factor=4, elide_redundant_vsetvl=True, vlen=vlen,
+                   call_overhead_scalars=4.0)
+
+    @classmethod
+    def fused(cls, lmul: int = 1, vlen: int = 512) -> "VectorLoweringOptions":
+        return cls(lmul=lmul, unroll_factor=4, keep_temporaries_in_registers=True,
+                   elide_redundant_vsetvl=True, vlen=vlen, call_overhead_scalars=2.0)
+
+
+class _VectorLowering:
+    """Stateful single-pass lowering over a matlib program."""
+
+    def __init__(self, program: MatlibProgram, options: VectorLoweringOptions) -> None:
+        self.program = program
+        self.options = options
+        self.stream = InstructionStream(backend="vector", name=program.name)
+        self.buffers = program.buffers()
+        self.last_vl: Optional[int] = None
+        self.values_in_registers: Set[str] = set()
+
+    # -- helpers -----------------------------------------------------------------
+    def _emit(self, kernel: str, opcode: VectorOpcode, elements: int,
+              sequential: bool = False, lmul: Optional[int] = None,
+              note: str = "") -> None:
+        self.stream.append(VectorInstruction(
+            kernel=kernel, opcode=opcode, elements=elements,
+            element_bytes=self.options.element_bytes,
+            lmul=self.options.lmul if lmul is None else lmul,
+            sequential_dependency=sequential, note=note))
+
+    def _emit_vsetvl(self, kernel: str, vl: int) -> None:
+        if self.options.elide_redundant_vsetvl and self.last_vl == vl:
+            return
+        self._emit(kernel, VectorOpcode.VSETVL, 0)
+        self.last_vl = vl
+
+    def _needs_load(self, name: str) -> bool:
+        if not self.options.keep_temporaries_in_registers:
+            return True
+        return name not in self.values_in_registers
+
+    def _mark_produced(self, op: OpRecord, index: int) -> bool:
+        """Decide whether the result stays in registers; emit store if not.
+
+        A result can stay in a register when fusion is enabled, it is a
+        single-use temporary, and its sole consumer is nearby in program
+        order (so register pressure stays bounded).
+        """
+        if not self.options.keep_temporaries_in_registers:
+            return False
+        info = self.buffers.get(op.output)
+        if info is None or not info.is_temporary or not info.single_use:
+            return False
+        consumers = self.program.consumers_of(index)
+        if consumers and consumers[0] - index <= 6:
+            self.values_in_registers.add(op.output)
+            return True
+        return False
+
+    def _scalar(self, kernel: str, count: float) -> None:
+        count = int(round(count))
+        if count > 0:
+            self._emit(kernel, VectorOpcode.SCALAR, count, lmul=1)
+
+    # -- per-kind lowering -----------------------------------------------------------
+    def _lower_gemv(self, op: OpRecord, index: int) -> None:
+        kernel = op.kernel or "<untagged>"
+        options = self.options
+        if op.name == "gemv_t":
+            rows = op.shapes[0][1]
+            inner = op.shapes[0][0]
+        elif op.name in ("gemm", "outer"):
+            self._lower_gemm(op, index)
+            return
+        else:
+            rows = op.shapes[0][0]
+            inner = op.shapes[0][1]
+
+        self._emit_vsetvl(kernel, rows)
+        # Zero (or load) the accumulator register.
+        self._emit(kernel, VectorOpcode.VARITH, rows, note="acc-init")
+        # Scalar bookkeeping: per-column address computation and the scalar
+        # operand load for vfmacc.vf.  Unrolling amortizes most of it.
+        scalar_per_column = 4.0 if options.unroll_factor == 1 else 1.0
+        self._scalar(kernel, scalar_per_column * inner)
+        unroll = options.unroll_factor
+        for column in range(inner):
+            self._emit(kernel, VectorOpcode.VLOAD, rows, note="matrix-column")
+            # With a single accumulator every vfmacc depends on the previous
+            # one; unrolled code rotates accumulators to hide the latency.
+            sequential = (unroll == 1) or ((column + 1) % unroll == 0)
+            self._emit(kernel, VectorOpcode.VMACC, rows, sequential=sequential)
+        if unroll > 1:
+            # Combine the partial accumulators.
+            for _ in range(min(unroll, inner) - 1):
+                self._emit(kernel, VectorOpcode.VARITH, rows, sequential=True,
+                           note="acc-combine")
+        if not self._mark_produced(op, index):
+            self._emit(kernel, VectorOpcode.VSTORE, rows)
+
+    def _lower_gemm(self, op: OpRecord, index: int) -> None:
+        kernel = op.kernel or "<untagged>"
+        rows, inner = op.shapes[0]
+        cols = op.out_shape[1] if len(op.out_shape) == 2 else 1
+        for _ in range(cols):
+            self._emit_vsetvl(kernel, rows)
+            self._emit(kernel, VectorOpcode.VARITH, rows, note="acc-init")
+            self._scalar(kernel, (3.0 if self.options.unroll_factor == 1 else 1.25) * inner)
+            for column in range(inner):
+                self._emit(kernel, VectorOpcode.VLOAD, rows)
+                self._emit(kernel, VectorOpcode.VMACC, rows,
+                           sequential=self.options.unroll_factor == 1)
+            self._emit(kernel, VectorOpcode.VSTORE, rows)
+
+    def _lower_elementwise(self, op: OpRecord, index: int) -> None:
+        kernel = op.kernel or "<untagged>"
+        options = self.options
+        elements = max(op.output_elements, 1)
+        self._emit_vsetvl(kernel, elements)
+        per_instruction = options.max_elements_per_instruction
+        chunks = max(-(-elements // per_instruction), 1)
+
+        vector_inputs = [name for name, shape in zip(op.inputs, op.shapes) if shape]
+        loads = 0
+        for name in vector_inputs:
+            if self._needs_load(name):
+                loads += 1
+            else:
+                self.values_in_registers.discard(name)
+        for _ in range(loads * chunks):
+            self._emit(kernel, VectorOpcode.VLOAD,
+                       min(elements, per_instruction))
+        # The arithmetic itself; clip/axpy style ops need two passes.
+        passes = 2 if op.flops >= 2 * elements else 1
+        for _ in range(chunks * passes):
+            self._emit(kernel, VectorOpcode.VARITH, min(elements, per_instruction))
+        self._scalar(kernel, 2.0 if options.unroll_factor == 1 else 0.5)
+        if not self._mark_produced(op, index):
+            for _ in range(chunks):
+                self._emit(kernel, VectorOpcode.VSTORE,
+                           min(elements, per_instruction))
+
+    def _lower_reduction(self, op: OpRecord, index: int) -> None:
+        kernel = op.kernel or "<untagged>"
+        elements = max(max((max(s) if s else 1) for s in op.shapes), 1) if op.shapes else 1
+        self._emit_vsetvl(kernel, elements)
+        for name, shape in zip(op.inputs, op.shapes):
+            if shape and self._needs_load(name):
+                self._emit(kernel, VectorOpcode.VLOAD, elements)
+        if op.name in ("max_abs_diff",):
+            self._emit(kernel, VectorOpcode.VARITH, elements)   # subtract
+        if op.name in ("max_abs_diff", "max_abs_reduce"):
+            self._emit(kernel, VectorOpcode.VARITH, elements)   # abs
+        self._emit(kernel, VectorOpcode.VREDUCE, elements)
+        self._scalar(kernel, 1.0)
+
+    def _lower_data_movement(self, op: OpRecord, index: int) -> None:
+        kernel = op.kernel or "<untagged>"
+        elements = max(op.output_elements, 1)
+        self._emit(kernel, VectorOpcode.VLOAD, elements)
+        self._emit(kernel, VectorOpcode.VSTORE, elements)
+
+    # -- driver ----------------------------------------------------------------------
+    def lower(self) -> InstructionStream:
+        for index, op in enumerate(self.program.ops):
+            self._scalar(op.kernel or "<untagged>", self.options.call_overhead_scalars)
+            if op.kind in (OpKind.GEMV, OpKind.GEMM):
+                self._lower_gemv(op, index)
+            elif op.kind is OpKind.ELEMENTWISE:
+                self._lower_elementwise(op, index)
+            elif op.kind is OpKind.REDUCTION:
+                self._lower_reduction(op, index)
+            elif op.kind is OpKind.DATA_MOVEMENT:
+                self._lower_data_movement(op, index)
+            else:
+                self._scalar(op.kernel or "<untagged>", max(op.flops, 1))
+        return self.stream
+
+
+def lower_vector(program: MatlibProgram,
+                 options: VectorLoweringOptions = VectorLoweringOptions()
+                 ) -> InstructionStream:
+    """Lower a matlib program to an RVV instruction stream."""
+    return _VectorLowering(program, options).lower()

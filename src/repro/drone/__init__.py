@@ -1,0 +1,68 @@
+"""Drone platform substrate: dynamics, variants, power, scenarios, disturbances."""
+
+from .variants import AIR_DENSITY, GRAVITY, DroneParams, all_variants, crazyflie, hawk, heron
+from .quadrotor import (
+    INPUT_DIM,
+    STATE_DIM,
+    Quadrotor,
+    QuadrotorState,
+    hover_input,
+    hover_state,
+)
+from .linearize import continuous_jacobians, discretize_zoh, linearize_hover
+from .rotor import hover_power, induced_power, rotor_power, total_actuation_power
+from .scenarios import (
+    DIFFICULTY_SPECS,
+    Difficulty,
+    DifficultySpec,
+    Scenario,
+    Waypoint,
+    generate_scenario,
+    generate_scenario_set,
+    scenario_overview_table,
+)
+from .disturbance import (
+    Disturbance,
+    DisturbanceCategory,
+    DisturbanceType,
+    RecoveryResult,
+    analyze_recovery,
+    standard_disturbance_suite,
+)
+
+__all__ = [
+    "AIR_DENSITY",
+    "GRAVITY",
+    "DroneParams",
+    "all_variants",
+    "crazyflie",
+    "hawk",
+    "heron",
+    "INPUT_DIM",
+    "STATE_DIM",
+    "Quadrotor",
+    "QuadrotorState",
+    "hover_input",
+    "hover_state",
+    "continuous_jacobians",
+    "discretize_zoh",
+    "linearize_hover",
+    "hover_power",
+    "induced_power",
+    "rotor_power",
+    "total_actuation_power",
+    "DIFFICULTY_SPECS",
+    "Difficulty",
+    "DifficultySpec",
+    "Scenario",
+    "Waypoint",
+    "generate_scenario",
+    "generate_scenario_set",
+    "scenario_overview_table",
+    "Disturbance",
+    "DisturbanceCategory",
+    "DisturbanceType",
+    "RecoveryResult",
+    "analyze_recovery",
+    "standard_disturbance_suite",
+]

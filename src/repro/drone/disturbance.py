@@ -1,0 +1,164 @@
+"""Disturbance injection and recovery metrics.
+
+Section 5.2 of the paper evaluates robustness by applying 100 ms step and
+impulse disturbances (axis-aligned forces, torques, and combined vectors)
+and measuring (a) the maximum recoverable magnitude and (b) the
+time-to-recovery (TTR), defined as returning to within 5 cm of the hold
+position for 250 ms.
+
+This module defines the disturbance descriptions, the time-varying external
+wrench they produce, and the recovery analysis over a recorded trajectory.
+The closed-loop execution lives in :mod:`repro.hil.loop`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["DisturbanceType", "DisturbanceCategory", "Disturbance",
+           "standard_disturbance_suite", "RecoveryResult", "analyze_recovery"]
+
+RECOVERY_RADIUS = 0.05       # m   (5 cm, from the paper)
+RECOVERY_HOLD_TIME = 0.25    # s   (250 ms, from the paper)
+DEFAULT_DURATION = 0.1       # s   (100 ms disturbances)
+
+
+class DisturbanceType(enum.Enum):
+    STEP = "step"          # constant over the disturbance window
+    IMPULSE = "impulse"    # same momentum/angular impulse, delivered in one physics step
+
+
+class DisturbanceCategory(enum.Enum):
+    FORCE = "force"
+    TORQUE = "torque"
+    COMBINED = "combined"
+
+
+@dataclass(frozen=True)
+class Disturbance:
+    """A single disturbance event."""
+
+    category: DisturbanceCategory
+    kind: DisturbanceType
+    direction: Tuple[float, float, float]
+    magnitude: float                  # N for forces, N*m for torques
+    start_time: float = 0.5
+    duration: float = DEFAULT_DURATION
+
+    def _unit_direction(self) -> np.ndarray:
+        direction = np.asarray(self.direction, dtype=np.float64)
+        norm = np.linalg.norm(direction)
+        if norm == 0:
+            raise ValueError("disturbance direction must be non-zero")
+        return direction / norm
+
+    @property
+    def end_time(self) -> float:
+        return self.start_time + self.duration
+
+    def wrench_at(self, time: float, physics_dt: float
+                  ) -> Tuple[np.ndarray, np.ndarray]:
+        """External (force, torque) at simulation time ``time``.
+
+        Step disturbances apply the magnitude over the whole window; impulse
+        disturbances deliver the equivalent impulse (magnitude × duration)
+        within a single physics step.
+        """
+        force = np.zeros(3)
+        torque = np.zeros(3)
+        unit = self._unit_direction()
+        if self.kind is DisturbanceType.STEP:
+            active = self.start_time <= time < self.end_time
+            amplitude = self.magnitude if active else 0.0
+        else:
+            active = self.start_time <= time < self.start_time + physics_dt
+            amplitude = (self.magnitude * self.duration / physics_dt) if active else 0.0
+        if amplitude == 0.0:
+            return force, torque
+        if self.category in (DisturbanceCategory.FORCE, DisturbanceCategory.COMBINED):
+            force = amplitude * unit
+        if self.category in (DisturbanceCategory.TORQUE, DisturbanceCategory.COMBINED):
+            # Combined disturbances split the magnitude between force and a
+            # proportionally scaled torque about the same axis.
+            torque_scale = 0.02 if self.category is DisturbanceCategory.COMBINED else 1.0
+            torque = amplitude * torque_scale * unit
+        return force, torque
+
+    def describe(self) -> str:
+        return "{}-{} {:.3g} along {}".format(
+            self.category.value, self.kind.value, self.magnitude, self.direction)
+
+
+def standard_disturbance_suite(force_magnitude: float = 0.08,
+                               torque_magnitude: float = 0.002,
+                               start_time: float = 0.5) -> List[Disturbance]:
+    """The paper's disturbance sweep: axis-aligned forces, torques, and
+    combined vectors, in both step and impulse flavours."""
+    axes = [(1.0, 0.0, 0.0), (0.0, 1.0, 0.0), (0.0, 0.0, 1.0)]
+    suite: List[Disturbance] = []
+    for kind in DisturbanceType:
+        for axis in axes:
+            suite.append(Disturbance(DisturbanceCategory.FORCE, kind, axis,
+                                     force_magnitude, start_time))
+            suite.append(Disturbance(DisturbanceCategory.TORQUE, kind, axis,
+                                     torque_magnitude, start_time))
+        suite.append(Disturbance(DisturbanceCategory.COMBINED, kind,
+                                 (1.0, 1.0, 0.5), force_magnitude, start_time))
+    return suite
+
+
+@dataclass
+class RecoveryResult:
+    """Outcome of a disturbance-recovery run."""
+
+    recovered: bool
+    time_to_recovery: Optional[float]     # seconds after the disturbance ends
+    max_deviation: float                  # meters from the hold position
+    disturbance: Optional[Disturbance] = None
+
+
+def analyze_recovery(times: Sequence[float], positions: Sequence[Sequence[float]],
+                     hold_position: Sequence[float], disturbance_end: float,
+                     radius: float = RECOVERY_RADIUS,
+                     hold_time: float = RECOVERY_HOLD_TIME) -> RecoveryResult:
+    """Compute recovery metrics from a recorded trajectory.
+
+    Recovery is achieved at the first time after ``disturbance_end`` from
+    which the drone stays within ``radius`` of the hold position for at
+    least ``hold_time`` seconds.
+    """
+    times = np.asarray(times, dtype=np.float64)
+    positions = np.asarray(positions, dtype=np.float64)
+    hold = np.asarray(hold_position, dtype=np.float64)
+    if len(times) != len(positions):
+        raise ValueError("times and positions must have equal length")
+    deviations = np.linalg.norm(positions - hold, axis=1)
+    after = times >= disturbance_end
+    max_deviation = float(np.max(deviations[after])) if np.any(after) else float("inf")
+
+    inside = deviations <= radius
+    candidate_start: Optional[float] = None
+    for time, ok, is_after in zip(times, inside, after):
+        if not is_after:
+            continue
+        if ok:
+            if candidate_start is None:
+                candidate_start = time
+            if time - candidate_start >= hold_time:
+                return RecoveryResult(recovered=True,
+                                      time_to_recovery=float(candidate_start - disturbance_end),
+                                      max_deviation=max_deviation)
+        else:
+            candidate_start = None
+    # A run that ends while inside the radius but without a full hold window
+    # counts as recovered if it was inside for the entire remaining tail.
+    if candidate_start is not None and times[-1] - candidate_start >= 0.5 * hold_time:
+        return RecoveryResult(recovered=True,
+                              time_to_recovery=float(candidate_start - disturbance_end),
+                              max_deviation=max_deviation)
+    return RecoveryResult(recovered=False, time_to_recovery=None,
+                          max_deviation=max_deviation)

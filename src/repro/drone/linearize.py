@@ -1,0 +1,70 @@
+"""Hover linearization of the quadrotor model.
+
+The MPC problem's discrete-time (A, B) matrices are obtained by numerically
+linearizing the same nonlinear model used as the simulated plant
+(:class:`repro.drone.quadrotor.Quadrotor`) about the hover equilibrium and
+applying a zero-order-hold discretization.  Deriving both the controller
+model and the plant from one source keeps the closed loop consistent, which
+is what the paper's HIL setup achieves by generating "new linearized models
+and policies" per drone variant (Section 5.4).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+from scipy.linalg import expm
+
+from .quadrotor import INPUT_DIM, STATE_DIM, Quadrotor, hover_input, hover_state
+from .variants import DroneParams
+
+__all__ = ["continuous_jacobians", "discretize_zoh", "linearize_hover"]
+
+
+def continuous_jacobians(params: DroneParams,
+                         epsilon: float = 1e-6) -> Tuple[np.ndarray, np.ndarray]:
+    """Finite-difference Jacobians of the quadrotor dynamics at hover.
+
+    Returns continuous-time ``(A_c, B_c)`` with ``A_c`` of shape (12, 12)
+    and ``B_c`` of shape (12, 4); the inputs are per-rotor thrust deltas
+    around the hover thrust.
+    """
+    plant = Quadrotor(params, dt=1e-3, rotor_dynamics=False)
+    x0 = hover_state()
+    u0 = hover_input(params)
+    f0 = plant.derivatives(x0, u0)
+
+    A_c = np.zeros((STATE_DIM, STATE_DIM))
+    for j in range(STATE_DIM):
+        x_pert = x0.copy()
+        x_pert[j] += epsilon
+        A_c[:, j] = (plant.derivatives(x_pert, u0) - f0) / epsilon
+
+    B_c = np.zeros((STATE_DIM, INPUT_DIM))
+    for j in range(INPUT_DIM):
+        u_pert = u0.copy()
+        u_pert[j] += epsilon
+        B_c[:, j] = (plant.derivatives(x0, u_pert) - f0) / epsilon
+    return A_c, B_c
+
+
+def discretize_zoh(A_c: np.ndarray, B_c: np.ndarray, dt: float
+                   ) -> Tuple[np.ndarray, np.ndarray]:
+    """Exact zero-order-hold discretization via the augmented matrix exponential."""
+    n = A_c.shape[0]
+    m = B_c.shape[1]
+    augmented = np.zeros((n + m, n + m))
+    augmented[:n, :n] = A_c
+    augmented[:n, n:] = B_c
+    phi = expm(augmented * dt)
+    return phi[:n, :n], phi[:n, n:]
+
+
+def linearize_hover(params: DroneParams, dt: float = 0.02
+                    ) -> Tuple[np.ndarray, np.ndarray]:
+    """Discrete-time hover-linearized model for a drone variant."""
+    if dt <= 0:
+        raise ValueError("dt must be positive")
+    A_c, B_c = continuous_jacobians(params)
+    return discretize_zoh(A_c, B_c, dt)

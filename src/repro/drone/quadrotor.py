@@ -1,0 +1,227 @@
+"""Nonlinear quadrotor rigid-body simulator.
+
+This is the substitute for gym-pybullet-drones in the paper's
+hardware-in-the-loop setup: a 12-state quadrotor (position, Euler attitude,
+linear velocity, body angular rate) with first-order rotor dynamics,
+integrated with RK4.  The same model is linearized about hover to produce
+the MPC problem's (A, B) matrices, so the controller and the plant are
+consistent.
+
+State layout (12,):
+    [0:3]   position p = [x, y, z]           world frame, meters
+    [3:6]   attitude  = [roll, pitch, yaw]   radians
+    [6:9]   velocity v = [vx, vy, vz]        world frame, m/s
+    [9:12]  body rate w = [p, q, r]          rad/s
+
+Input layout (4,): per-rotor thrust in Newtons (absolute, not delta).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+import numpy as np
+
+from .variants import DroneParams, GRAVITY
+
+__all__ = ["QuadrotorState", "Quadrotor", "hover_state", "hover_input"]
+
+POSITION = slice(0, 3)
+ATTITUDE = slice(3, 6)
+VELOCITY = slice(6, 9)
+BODY_RATE = slice(9, 12)
+
+STATE_DIM = 12
+INPUT_DIM = 4
+
+
+@dataclass
+class QuadrotorState:
+    """Convenience view over the flat 12-element state vector."""
+
+    vector: np.ndarray
+
+    @property
+    def position(self) -> np.ndarray:
+        return self.vector[POSITION]
+
+    @property
+    def attitude(self) -> np.ndarray:
+        return self.vector[ATTITUDE]
+
+    @property
+    def velocity(self) -> np.ndarray:
+        return self.vector[VELOCITY]
+
+    @property
+    def body_rate(self) -> np.ndarray:
+        return self.vector[BODY_RATE]
+
+    def copy(self) -> "QuadrotorState":
+        return QuadrotorState(self.vector.copy())
+
+
+def hover_state(position: Optional[np.ndarray] = None) -> np.ndarray:
+    """A level hover state at a given position (default: origin)."""
+    state = np.zeros(STATE_DIM)
+    if position is not None:
+        state[POSITION] = np.asarray(position, dtype=np.float64)
+    return state
+
+
+def hover_input(params: DroneParams) -> np.ndarray:
+    """Per-rotor thrusts that exactly balance gravity."""
+    return np.full(INPUT_DIM, params.hover_thrust_per_rotor())
+
+
+def rotation_matrix(rpy: np.ndarray) -> np.ndarray:
+    """Body-to-world rotation matrix from roll/pitch/yaw (ZYX convention)."""
+    roll, pitch, yaw = rpy
+    cr, sr = np.cos(roll), np.sin(roll)
+    cp, sp = np.cos(pitch), np.sin(pitch)
+    cy, sy = np.cos(yaw), np.sin(yaw)
+    return np.array([
+        [cy * cp, cy * sp * sr - sy * cr, cy * sp * cr + sy * sr],
+        [sy * cp, sy * sp * sr + cy * cr, sy * sp * cr - cy * sr],
+        [-sp, cp * sr, cp * cr],
+    ])
+
+
+def euler_rate_matrix(rpy: np.ndarray) -> np.ndarray:
+    """Map body angular rates to Euler angle rates (ZYX convention)."""
+    roll, pitch, _ = rpy
+    cr, sr = np.cos(roll), np.sin(roll)
+    cp = np.cos(pitch)
+    # Guard against the pitch singularity; the drone never flies there in
+    # these scenarios, but a disturbance sweep can push states far out.
+    cp = np.sign(cp) * max(abs(cp), 1e-6) if cp != 0 else 1e-6
+    tp = np.sin(pitch) / cp
+    return np.array([
+        [1.0, sr * tp, cr * tp],
+        [0.0, cr, -sr],
+        [0.0, sr / cp, cr / cp],
+    ])
+
+
+class Quadrotor:
+    """Nonlinear quadrotor plant with first-order rotor lag."""
+
+    def __init__(self, params: DroneParams, dt: float = 0.004,
+                 rotor_dynamics: bool = True) -> None:
+        if dt <= 0:
+            raise ValueError("dt must be positive")
+        self.params = params
+        self.dt = dt
+        self.rotor_dynamics = rotor_dynamics
+        self.state = hover_state()
+        self.rotor_thrusts = hover_input(params)
+        self.time = 0.0
+        self._external_force = np.zeros(3)
+        self._external_torque = np.zeros(3)
+
+    # -- configuration ---------------------------------------------------------
+    def reset(self, state: Optional[np.ndarray] = None) -> np.ndarray:
+        self.state = hover_state() if state is None else np.asarray(state, float).copy()
+        self.rotor_thrusts = hover_input(self.params)
+        self.time = 0.0
+        self.clear_disturbance()
+        return self.state.copy()
+
+    def set_disturbance(self, force: Optional[np.ndarray] = None,
+                        torque: Optional[np.ndarray] = None) -> None:
+        """Apply a constant external force/torque until cleared."""
+        self._external_force = (np.zeros(3) if force is None
+                                else np.asarray(force, dtype=np.float64))
+        self._external_torque = (np.zeros(3) if torque is None
+                                 else np.asarray(torque, dtype=np.float64))
+
+    def clear_disturbance(self) -> None:
+        self._external_force = np.zeros(3)
+        self._external_torque = np.zeros(3)
+
+    # -- dynamics ----------------------------------------------------------------
+    def derivatives(self, state: np.ndarray, thrusts: np.ndarray) -> np.ndarray:
+        """Continuous-time state derivative for given rotor thrusts."""
+        params = self.params
+        mass = params.mass
+        inertia = params.inertia
+        mix = params.mixing_matrix()
+
+        wrench = mix @ thrusts
+        total_thrust, torque = wrench[0], wrench[1:]
+
+        rpy = state[ATTITUDE]
+        velocity = state[VELOCITY]
+        omega = state[BODY_RATE]
+
+        R = rotation_matrix(rpy)
+        thrust_world = R @ np.array([0.0, 0.0, total_thrust])
+        acceleration = (thrust_world + self._external_force) / mass
+        acceleration[2] -= GRAVITY
+        # Simple linear aerodynamic drag keeps velocities bounded.
+        acceleration -= 0.05 * velocity / mass
+
+        omega_dot = (torque + self._external_torque
+                     - np.cross(omega, inertia * omega)) / inertia
+        rpy_dot = euler_rate_matrix(rpy) @ omega
+
+        derivative = np.zeros(STATE_DIM)
+        derivative[POSITION] = velocity
+        derivative[ATTITUDE] = rpy_dot
+        derivative[VELOCITY] = acceleration
+        derivative[BODY_RATE] = omega_dot
+        return derivative
+
+    def _clip_thrusts(self, commanded: np.ndarray) -> np.ndarray:
+        return np.clip(commanded, 0.0, self.params.max_thrust_per_rotor())
+
+    def step(self, commanded_thrusts: np.ndarray) -> np.ndarray:
+        """Advance the simulation by one physics timestep (RK4)."""
+        commanded = self._clip_thrusts(np.asarray(commanded_thrusts, dtype=np.float64))
+        if self.rotor_dynamics:
+            alpha = self.dt / max(self.params.motor_time_constant, self.dt)
+            alpha = min(alpha, 1.0)
+            self.rotor_thrusts = self.rotor_thrusts + alpha * (commanded - self.rotor_thrusts)
+        else:
+            self.rotor_thrusts = commanded
+        thrusts = self._clip_thrusts(self.rotor_thrusts)
+
+        dt = self.dt
+        state = self.state
+        k1 = self.derivatives(state, thrusts)
+        k2 = self.derivatives(state + 0.5 * dt * k1, thrusts)
+        k3 = self.derivatives(state + 0.5 * dt * k2, thrusts)
+        k4 = self.derivatives(state + dt * k3, thrusts)
+        self.state = state + (dt / 6.0) * (k1 + 2.0 * k2 + 2.0 * k3 + k4)
+        self.time += dt
+        return self.state.copy()
+
+    # -- observation helpers -------------------------------------------------------
+    @property
+    def position(self) -> np.ndarray:
+        return self.state[POSITION].copy()
+
+    @property
+    def velocity(self) -> np.ndarray:
+        return self.state[VELOCITY].copy()
+
+    @property
+    def attitude(self) -> np.ndarray:
+        return self.state[ATTITUDE].copy()
+
+    def observe(self) -> np.ndarray:
+        """Full-state observation (the HIL setup transmits this over UART)."""
+        return self.state.copy()
+
+    def has_crashed(self, max_tilt: float = 1.2, min_altitude: float = -0.05,
+                    max_distance: float = 25.0) -> bool:
+        """Heuristic crash detector: excessive tilt, ground hit, or fly-away."""
+        roll, pitch, _ = self.state[ATTITUDE]
+        if abs(roll) > max_tilt or abs(pitch) > max_tilt:
+            return True
+        if self.state[2] < min_altitude:
+            return True
+        if np.linalg.norm(self.state[POSITION]) > max_distance:
+            return True
+        return bool(np.any(~np.isfinite(self.state)))

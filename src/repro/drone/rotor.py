@@ -1,0 +1,50 @@
+"""Rotor power model.
+
+The paper models the dominant contributor to system power — rotor (actuator)
+power — with momentum theory (Equation 4):
+
+    P_ind = T^(3/2) / sqrt(2 * rho * A)
+
+where T is the thrust produced by a rotor, A the propeller disk area, and
+rho the air density.  We additionally account for a motor/ESC electrical
+efficiency so the reported figures are electrical watts rather than ideal
+induced power; the efficiency is a constant factor and therefore does not
+change any of the paper's relative comparisons.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from .variants import AIR_DENSITY, DroneParams
+
+__all__ = ["induced_power", "rotor_power", "total_actuation_power", "hover_power"]
+
+
+def induced_power(thrust: float, disk_area: float,
+                  air_density: float = AIR_DENSITY) -> float:
+    """Ideal induced power of one rotor producing ``thrust`` Newtons (Eq. 4)."""
+    thrust = max(float(thrust), 0.0)
+    return thrust ** 1.5 / np.sqrt(2.0 * air_density * disk_area)
+
+
+def rotor_power(thrust: float, params: DroneParams,
+                electrical_efficiency: float = 0.55) -> float:
+    """Electrical power drawn by one rotor at a given thrust."""
+    if not 0.0 < electrical_efficiency <= 1.0:
+        raise ValueError("electrical_efficiency must be in (0, 1]")
+    return induced_power(thrust, params.rotor_disk_area) / electrical_efficiency
+
+
+def total_actuation_power(thrusts: Sequence[float], params: DroneParams,
+                          electrical_efficiency: float = 0.55) -> float:
+    """Total electrical actuation power for all four rotors."""
+    return float(sum(rotor_power(t, params, electrical_efficiency) for t in thrusts))
+
+
+def hover_power(params: DroneParams, electrical_efficiency: float = 0.55) -> float:
+    """Actuation power in steady hover — the floor the ideal policy approaches."""
+    per_rotor = params.hover_thrust_per_rotor()
+    return 4.0 * rotor_power(per_rotor, params, electrical_efficiency)

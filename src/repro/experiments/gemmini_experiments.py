@@ -1,0 +1,152 @@
+"""Gemmini mapping-optimization experiments (Figures 6, 7, 8, 9, 12).
+
+Each function returns the rows the corresponding figure plots: cycles per
+ADMM iteration under progressively richer software mappings, the
+scratchpad layout plan, the synchronization-overhead sweep, and the
+per-kernel engine ablation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..arch import GemminiOpcode, get_design_point
+from ..codegen import (
+    CodegenFlow,
+    GemminiLoweringOptions,
+    lower_gemmini,
+    plan_scratchpad_residency,
+)
+from ..matlib import MatlibProgram
+from ..tinympc import ALL_KERNELS, KERNEL_CLASSES
+from .kernel_experiments import default_program
+
+__all__ = [
+    "fig6_static_mapping",
+    "fig7_scratchpad_resident",
+    "fig8_scratchpad_layout",
+    "fig9_sync_granularity",
+    "fig12_engine_ablation",
+]
+
+_GEMMINI = "gemmini-4x4-os-64k-rocket"
+
+
+def fig6_static_mapping(program: Optional[MatlibProgram] = None,
+                        design_point: str = _GEMMINI) -> List[Dict]:
+    """CISC / dynamic library / unrolled+static mappings (Figure 6)."""
+    program = program or default_program()
+    flow = CodegenFlow()
+    variants = [
+        ("CISC instructions", "cisc"),
+        ("fine-grained, dynamic addressing", "library"),
+        ("fine-grained, unrolled + static mapping", "static"),
+    ]
+    baseline = flow.compile(program, design_point, "cisc").cycles
+    rows = []
+    for label, level in variants:
+        result = flow.compile(program, design_point, level)
+        rocc_instructions = sum(
+            1 for i in result.stream
+            if getattr(i, "opcode", None) not in (GemminiOpcode.CPU_OP, None))
+        rows.append({"variant": label, "level": level, "cycles": result.cycles,
+                     "rocc_instructions": rocc_instructions,
+                     "speedup_vs_cisc": baseline / result.cycles})
+    return rows
+
+
+def fig7_scratchpad_resident(program: Optional[MatlibProgram] = None,
+                             design_point: str = _GEMMINI) -> List[Dict]:
+    """DRAM-staged vs scratchpad-resident iterative passes (Figure 7)."""
+    program = program or default_program()
+    flow = CodegenFlow()
+    rows = []
+    baseline = None
+    for label, level in [("DRAM-staged (static mapping)", "static"),
+                         ("scratchpad-resident", "scratchpad")]:
+        result = flow.compile(program, design_point, level)
+        fences = result.stream.count_opcode(GemminiOpcode.FENCE)
+        dram_moves = sum(1 for i in result.stream
+                         if getattr(i, "opcode", None) in (GemminiOpcode.MVIN,
+                                                           GemminiOpcode.MVOUT)
+                         and getattr(i, "dram", False))
+        if baseline is None:
+            baseline = result.cycles
+        rows.append({"variant": label, "level": level, "cycles": result.cycles,
+                     "fences": fences, "dram_transfers": dram_moves,
+                     "speedup_vs_dram_staged": baseline / result.cycles})
+    return rows
+
+
+def fig8_scratchpad_layout(program: Optional[MatlibProgram] = None,
+                           scratchpad_kb: int = 64) -> List[Dict]:
+    """Workspace-to-scratchpad mapping (Figure 8) as one row per buffer."""
+    program = program or default_program()
+    plan = plan_scratchpad_residency(program, scratchpad_kb=scratchpad_kb)
+    rows = []
+    for name in plan.utility_buffers + plan.resident_buffers:
+        start, count = plan.row_assignments.get(name, (0, 0))
+        rows.append({"buffer": name, "start_row": start, "rows": count,
+                     "utility": name in plan.utility_buffers})
+    rows.append({"buffer": "<total>", "start_row": 0,
+                 "rows": sum(r["rows"] for r in rows),
+                 "utility": False,
+                 "occupancy": plan.occupancy,
+                 "spilled": len(plan.spilled_buffers)})
+    return rows
+
+
+def fig9_sync_granularity(program: Optional[MatlibProgram] = None,
+                          design_point: str = _GEMMINI,
+                          granularities: tuple = (1, 2, 4, 8, 16, 32)) -> List[Dict]:
+    """CPU-Gemmini synchronization overhead vs offload granularity (Figure 9)."""
+    program = program or default_program()
+    point = get_design_point(design_point)
+    backend = point.backend()
+    rows = []
+    for granularity in granularities:
+        options = GemminiLoweringOptions(
+            static_mapping=True, eliminate_redundant_config=True,
+            scratchpad_resident=True, use_activation_engine=True,
+            use_pooling=True, sync_granularity=granularity,
+            scratchpad_kb=point.config.scratchpad_kb,
+            mesh_dim=point.config.mesh_rows)
+        stream = lower_gemmini(program, options)
+        report = backend.run(stream)
+        fences = stream.count_opcode(GemminiOpcode.FENCE)
+        stall = report.cycles_by_category.get("stall", 0.0)
+        rows.append({"ops_per_sync": granularity, "fences": fences,
+                     "total_cycles": report.total_cycles,
+                     "sync_stall_cycles": stall,
+                     "sync_overhead_fraction": stall / report.total_cycles})
+    return rows
+
+
+def fig12_engine_ablation(program: Optional[MatlibProgram] = None,
+                          design_point: str = _GEMMINI) -> List[Dict]:
+    """Gemmini kernel speedups: mesh only vs +elementwise engines vs +pooling
+    (Figure 12), relative to the Rocket Eigen scalar baseline."""
+    program = program or default_program()
+    flow = CodegenFlow()
+    baseline = flow.compile(program, "rocket", "eigen").report
+    variants = {
+        "mesh_only": flow.compile(program, design_point, "scratchpad").report,
+        "elementwise_engines": flow.compile(program, design_point, "elementwise").report,
+        "elementwise_plus_pool": flow.compile(program, design_point, "optimized").report,
+    }
+    rows = []
+    for kernel in ALL_KERNELS:
+        base = baseline.cycles_by_kernel.get(kernel, 0.0)
+        if base == 0.0:
+            continue
+        row = {"kernel": kernel, "class": KERNEL_CLASSES[kernel]}
+        for name, report in variants.items():
+            cycles = report.cycles_by_kernel.get(kernel, 0.0)
+            row["{}_speedup".format(name)] = base / max(cycles, 1e-9)
+        rows.append(row)
+    total = {"kernel": "total", "class": "all"}
+    for name, report in variants.items():
+        total["{}_speedup".format(name)] = (baseline.total_cycles
+                                            / max(report.total_cycles, 1e-9))
+    rows.append(total)
+    return rows

@@ -1,0 +1,204 @@
+"""Hardware-in-the-loop experiments (Table 1, Figures 15-18, Section 5.3).
+
+The closed-loop episodes are the slow part of the reproduction, so every
+sweep accepts ``episodes_per_cell`` / frequency-list arguments that default
+to small values suitable for the benchmark harness; pass larger values to
+approach the paper's 20-scenario-per-difficulty methodology.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from ..drone import (
+    Difficulty,
+    DisturbanceCategory,
+    DroneParams,
+    all_variants,
+    crazyflie,
+    generate_scenario,
+    scenario_overview_table,
+    standard_disturbance_suite,
+)
+from ..hil import HILConfig, HILLoop, RTOSModel, SoCModel, aggregate_cell
+from .kernel_experiments import default_program
+
+__all__ = [
+    "table1_variants",
+    "fig15_scenarios",
+    "fig16_hil_sweep",
+    "fig17_disturbance_recovery",
+    "fig18_swap_variants",
+    "sec53_concurrent_tasks",
+]
+
+
+# ---------------------------------------------------------------------------
+# Table 1 and Figure 15
+# ---------------------------------------------------------------------------
+
+def table1_variants() -> List[Dict]:
+    """Mechanical/electrical parameters of the CrazyFlie variants (Table 1)."""
+    return [params.summary() for params in all_variants().values()]
+
+
+def fig15_scenarios(seeds_per_difficulty: int = 3) -> List[Dict]:
+    """Scenario-difficulty overview plus measured statistics of generated sets."""
+    rows = []
+    for spec_row in scenario_overview_table():
+        difficulty = Difficulty(spec_row["difficulty"])
+        scenarios = [generate_scenario(difficulty, seed)
+                     for seed in range(seeds_per_difficulty)]
+        measured = float(np.mean([s.average_leg_distance() for s in scenarios]))
+        row = dict(spec_row)
+        row["measured_average_leg_distance_m"] = measured
+        row["scenario_duration_s"] = scenarios[0].duration
+        rows.append(row)
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Figure 16: solve time / success rate / power vs clock frequency
+# ---------------------------------------------------------------------------
+
+def fig16_hil_sweep(implementations: Sequence[str] = ("scalar", "vector"),
+                    frequencies_mhz: Sequence[float] = (50.0, 100.0, 250.0, 500.0),
+                    difficulties: Sequence[Difficulty] = (Difficulty.EASY,
+                                                          Difficulty.MEDIUM,
+                                                          Difficulty.HARD),
+                    episodes_per_cell: int = 3,
+                    include_ideal: bool = True) -> List[Dict]:
+    """The full HIL sweep: one row per (implementation, frequency, difficulty)."""
+    rows: List[Dict] = []
+    configurations = [(impl, freq) for impl in implementations
+                      for freq in frequencies_mhz]
+    if include_ideal:
+        configurations.append(("ideal", 0.0))
+    for implementation, frequency in configurations:
+        config = HILConfig(implementation=implementation,
+                           frequency_mhz=frequency if frequency else 100.0)
+        loop = HILLoop(config)
+        for difficulty in difficulties:
+            results = [loop.run_scenario(generate_scenario(difficulty, seed))
+                       for seed in range(episodes_per_cell)]
+            cell = aggregate_cell(results)
+            row = cell.as_row()
+            row["implementation"] = implementation
+            row["frequency_mhz"] = frequency
+            rows.append(row)
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Figure 17: disturbance recovery
+# ---------------------------------------------------------------------------
+
+def fig17_disturbance_recovery(frequency_mhz: float = 100.0,
+                               force_magnitude: float = 0.08,
+                               torque_magnitude: float = 0.002) -> List[Dict]:
+    """Time-to-recovery per disturbance category, scalar vs vector at 100 MHz."""
+    suites = standard_disturbance_suite(force_magnitude=force_magnitude,
+                                        torque_magnitude=torque_magnitude)
+    loops = {impl: HILLoop(HILConfig(implementation=impl, frequency_mhz=frequency_mhz))
+             for impl in ("scalar", "vector")}
+    rows: List[Dict] = []
+    for category in DisturbanceCategory:
+        category_rows: Dict[str, List[float]] = {"scalar": [], "vector": []}
+        recovered: Dict[str, int] = {"scalar": 0, "vector": 0}
+        count = 0
+        for disturbance in suites:
+            if disturbance.category is not category:
+                continue
+            count += 1
+            for implementation, loop in loops.items():
+                result = loop.run_disturbance(disturbance)
+                if result.recovered and result.time_to_recovery is not None:
+                    recovered[implementation] += 1
+                    category_rows[implementation].append(result.time_to_recovery)
+        row = {"category": category.value, "disturbances": count}
+        for implementation in ("scalar", "vector"):
+            times = category_rows[implementation]
+            row["{}_recovered".format(implementation)] = recovered[implementation]
+            row["{}_mean_ttr_s".format(implementation)] = (
+                float(np.mean(times)) if times else float("nan"))
+        if category_rows["scalar"] and category_rows["vector"]:
+            row["ttr_improvement_pct"] = 100.0 * (
+                1.0 - np.mean(category_rows["vector"]) / np.mean(category_rows["scalar"]))
+        rows.append(row)
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Figure 18: SWaP variants
+# ---------------------------------------------------------------------------
+
+def fig18_swap_variants(frequencies_mhz: Sequence[float] = (100.0, 500.0),
+                        difficulties: Sequence[Difficulty] = (Difficulty.EASY,
+                                                              Difficulty.MEDIUM,
+                                                              Difficulty.HARD),
+                        episodes_per_cell: int = 2,
+                        implementation: str = "vector") -> List[Dict]:
+    """Mission success and power for CrazyFlie / Hawk / Heron, using the
+    lowest-power adequate frequency per variant (Figure 18)."""
+    rows: List[Dict] = []
+    for name, params in all_variants().items():
+        best_row: Optional[Dict] = None
+        for frequency in frequencies_mhz:
+            config = HILConfig(implementation=implementation, frequency_mhz=frequency)
+            loop = HILLoop(config, params=params)
+            results = []
+            for difficulty in difficulties:
+                for seed in range(episodes_per_cell):
+                    results.append(loop.run_scenario(generate_scenario(difficulty, seed)))
+            success = sum(1 for r in results if r.success) / len(results)
+            power = float(np.mean([r.total_power_w for r in results]))
+            row = {"variant": name, "frequency_mhz": frequency,
+                   "success_rate": success, "mean_total_power_w": power,
+                   "mean_actuation_power_w": float(
+                       np.mean([r.actuation_power_w for r in results])),
+                   "mean_soc_power_w": float(
+                       np.mean([r.soc_power_w for r in results]))}
+            if (best_row is None
+                    or (row["success_rate"], -row["mean_total_power_w"])
+                    > (best_row["success_rate"], -best_row["mean_total_power_w"])):
+                best_row = row
+        best_row["selected"] = True
+        rows.append(best_row)
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Section 5.3: concurrent MPC + DroNet tasks
+# ---------------------------------------------------------------------------
+
+def sec53_concurrent_tasks(frequency_mhz: float = 100.0,
+                           mpc_rate_hz: float = 50.0) -> List[Dict]:
+    """MPC CPU occupancy and DroNet frame rate for scalar vs vector MPC."""
+    from ..tinympc import default_quadrotor_problem
+
+    problem = default_quadrotor_problem()
+    program = default_program(problem)
+    rtos = RTOSModel(mpc_rate_hz=mpc_rate_hz)
+    rows = []
+    reports = {}
+    for implementation in ("scalar", "vector"):
+        soc = SoCModel.from_implementation(implementation, frequency_mhz)
+        soc.compile_problem(problem, program=program)
+        solve_time = soc.solve_latency(iterations=10)
+        report = rtos.report(implementation, frequency_mhz, solve_time)
+        reports[implementation] = report
+        rows.append(report.as_row())
+    rows.append({
+        "implementation": "vector vs scalar",
+        "frequency_mhz": frequency_mhz,
+        "mpc_rate_hz": mpc_rate_hz,
+        "mpc_solve_time_ms": 0.0,
+        "mpc_cpu_occupancy_pct": (reports["scalar"].mpc_cpu_occupancy
+                                  - reports["vector"].mpc_cpu_occupancy) * 100.0,
+        "background_fps": reports["vector"].background_fps,
+        "fps_improvement": (reports["vector"].background_fps
+                            / reports["scalar"].background_fps),
+    })
+    return rows

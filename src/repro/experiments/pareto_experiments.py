@@ -1,0 +1,62 @@
+"""Design-space exploration: performance vs area Pareto frontier (Figure 10)."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..arch import list_design_points
+from ..codegen import CodegenFlow
+from ..matlib import MatlibProgram
+from .kernel_experiments import default_program
+
+__all__ = ["fig10_pareto", "pareto_frontier"]
+
+# The software mapping each category is evaluated with in Figure 10.
+_CATEGORY_LEVEL = {"scalar": "eigen", "vector": "fused", "systolic": "optimized"}
+
+
+def fig10_pareto(program: Optional[MatlibProgram] = None,
+                 solve_iterations: int = 10) -> List[Dict]:
+    """One row per design point: area, cycles per solve, achievable ADMM solve
+    frequency at 500 MHz, and whether the point is Pareto-optimal."""
+    program = program or default_program()
+    flow = CodegenFlow()
+    rows: List[Dict] = []
+    for point in list_design_points():
+        level = _CATEGORY_LEVEL[point.category]
+        # The weight-stationary Gemmini design only received the baseline
+        # optimizations in the paper (Section 5.1.5).
+        if point.category == "systolic" and point.config.dataflow == "WS":
+            level = "static"
+        result = flow.compile(program, point, level)
+        cycles_per_solve = result.cycles * solve_iterations
+        rows.append({
+            "design_point": point.name,
+            "category": point.category,
+            "level": level,
+            "area_mm2": point.area_mm2,
+            "cycles_per_iteration": result.cycles,
+            "cycles_per_solve": cycles_per_solve,
+            "solve_hz_at_500mhz": 500e6 / cycles_per_solve,
+        })
+    frontier = pareto_frontier([(r["area_mm2"], r["solve_hz_at_500mhz"]) for r in rows])
+    for index, row in enumerate(rows):
+        row["pareto_optimal"] = index in frontier
+    return rows
+
+
+def pareto_frontier(points: Sequence[Tuple[float, float]]) -> List[int]:
+    """Indices of Pareto-optimal points (minimize area, maximize performance)."""
+    frontier = []
+    for index, (area, performance) in enumerate(points):
+        dominated = False
+        for other_index, (other_area, other_performance) in enumerate(points):
+            if other_index == index:
+                continue
+            if (other_area <= area and other_performance >= performance
+                    and (other_area < area or other_performance > performance)):
+                dominated = True
+                break
+        if not dominated:
+            frontier.append(index)
+    return frontier

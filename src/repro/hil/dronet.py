@@ -1,0 +1,33 @@
+"""DroNet background-workload model.
+
+Section 5.3 runs DroNet (a small CNN used for local planning) as a
+background RTOS thread while TinyMPC runs as the high-priority task at a
+fixed 50 Hz.  Only the CNN's per-frame compute cost matters for that
+experiment: the achievable frame rate is the CPU time left over by MPC
+divided by the per-frame cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["DroNetWorkload"]
+
+
+@dataclass(frozen=True)
+class DroNetWorkload:
+    """Per-frame cost of the DroNet CNN on the embedded core."""
+
+    # DroNet is a ResNet-8 on a 200x200 grayscale input; on the RVV core the
+    # convolutions vectorize well, leaving roughly this many cycles per frame.
+    cycles_per_frame: float = 9.0e6
+
+    def frame_time(self, frequency_hz: float) -> float:
+        if frequency_hz <= 0:
+            raise ValueError("frequency must be positive")
+        return self.cycles_per_frame / frequency_hz
+
+    def achievable_fps(self, frequency_hz: float, cpu_available_fraction: float) -> float:
+        """Frames per second achievable with a share of the CPU."""
+        fraction = min(max(cpu_available_fraction, 0.0), 1.0)
+        return fraction / self.frame_time(frequency_hz)

@@ -1,0 +1,278 @@
+"""Closed-loop hardware-in-the-loop system simulation.
+
+This is the Python equivalent of the paper's HIL setup (Figure 14): a
+simulated quadrotor (our stand-in for gym-pybullet-drones) is controlled by
+TinyMPC "running on" an SoC timing model, with UART latency between the two.
+The control pipeline per solve is::
+
+    state sampled -> UART downlink -> solve (iterations x cycles / f_clk)
+                  -> UART uplink   -> motor command applied
+
+The solver cannot accept a new state while a solve is in flight, so at low
+clock frequencies the effective control rate drops and the applied commands
+are stale — which is exactly the mechanism behind the success-rate and
+actuator-power degradation in Figure 16.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..arch import SoCPowerModel
+from ..drone import (
+    Disturbance,
+    DroneParams,
+    Quadrotor,
+    RecoveryResult,
+    Scenario,
+    analyze_recovery,
+    crazyflie,
+    hover_input,
+    hover_state,
+    linearize_hover,
+    total_actuation_power,
+)
+from ..tinympc import MPCProblem, SolverSettings, TinyMPCSolver
+from .metrics import ScenarioResult
+from .soc import SoCModel
+from .uart import UARTLink
+
+__all__ = ["HILConfig", "HILLoop", "build_variant_problem"]
+
+
+def build_variant_problem(params: DroneParams, control_rate_hz: float = 100.0,
+                          horizon: int = 10, rho: float = 5.0) -> MPCProblem:
+    """Linearize a drone variant about hover and build its MPC problem.
+
+    This is the per-variant "new linearized models and policies" step of the
+    SWaP study (Section 5.4).
+    """
+    dt = 1.0 / control_rate_hz
+    A, B = linearize_hover(params, dt=dt)
+    n, m = A.shape[0], B.shape[1]
+    q_diag = np.array([100.0, 100.0, 100.0, 4.0, 4.0, 400.0,
+                       4.0, 4.0, 4.0, 2.0, 2.0, 4.0])
+    Q = np.diag(q_diag[:n])
+    R = np.diag(np.full(m, 4.0))
+    u_hover = params.hover_thrust_per_rotor()
+    return MPCProblem(A=A, B=B, Q=Q, R=R, rho=rho, horizon=horizon,
+                      u_min=np.full(m, -u_hover),
+                      u_max=np.full(m, params.max_thrust_per_rotor() - u_hover),
+                      dt=dt, name="{}-hover-mpc".format(params.name.lower()))
+
+
+@dataclass
+class HILConfig:
+    """Configuration of one HIL experiment cell."""
+
+    implementation: str = "vector"        # "scalar", "vector", or "ideal"
+    frequency_mhz: float = 100.0
+    control_rate_hz: float = 100.0
+    physics_dt: float = 0.002
+    max_admm_iterations: int = 10
+    waypoint_tolerance: float = 0.20      # meters, success radius at the final waypoint
+    uart: UARTLink = field(default_factory=UARTLink)
+    record_trajectory: bool = False
+
+    @property
+    def is_ideal(self) -> bool:
+        """The ideal policy solves at every physics step with zero latency."""
+        return self.implementation == "ideal"
+
+    @property
+    def control_period(self) -> float:
+        return 1.0 / self.control_rate_hz
+
+
+class HILLoop:
+    """Closed-loop simulator: drone plant + SoC-timed MPC + UART link."""
+
+    def __init__(self, config: HILConfig,
+                 params: Optional[DroneParams] = None,
+                 problem: Optional[MPCProblem] = None) -> None:
+        self.config = config
+        self.params = params or crazyflie()
+        self.problem = problem or build_variant_problem(
+            self.params, control_rate_hz=config.control_rate_hz)
+        self.solver = TinyMPCSolver(
+            self.problem,
+            SolverSettings(max_iterations=config.max_admm_iterations, warm_start=True))
+        self.plant = Quadrotor(self.params, dt=config.physics_dt)
+        if config.is_ideal:
+            self.soc: Optional[SoCModel] = None
+        else:
+            self.soc = SoCModel.from_implementation(config.implementation,
+                                                    config.frequency_mhz)
+            self.soc.compile_problem(self.problem)
+
+    # -- helpers -----------------------------------------------------------------
+    def _goal_state(self, position: np.ndarray) -> np.ndarray:
+        goal = np.zeros(self.problem.state_dim)
+        goal[0:3] = position
+        return goal
+
+    def _solve(self, state: np.ndarray, goal: np.ndarray) -> Tuple[np.ndarray, int]:
+        solution = self.solver.solve(state, Xref=goal)
+        return solution.control, solution.iterations
+
+    def _solve_latency(self, iterations: int) -> float:
+        """End-to-end latency from state sample to applied command."""
+        if self.config.is_ideal:
+            return 0.0
+        compute = self.soc.solve_latency(iterations)
+        return self.config.uart.downlink_latency + compute + self.config.uart.uplink_latency
+
+    # -- main entry points ----------------------------------------------------------
+    def run_scenario(self, scenario: Scenario) -> ScenarioResult:
+        """Fly one waypoint-tracking scenario and collect metrics."""
+        config = self.config
+        plant = self.plant
+        solver = self.solver
+        solver.reset()
+        plant.reset(hover_state(scenario.start_position))
+
+        hover = hover_input(self.params)
+        command = hover.copy()
+        pending_command: Optional[np.ndarray] = None
+        pending_ready_time = 0.0
+        solver_free_time = 0.0
+        next_control_time = 0.0
+
+        solve_times: List[float] = []
+        solve_iterations: List[int] = []
+        compute_busy_time = 0.0
+        actuation_energy = 0.0
+        positions: List[np.ndarray] = []
+        crashed = False
+
+        control_period = (config.physics_dt if config.is_ideal
+                          else config.control_period)
+        steps = int(round(scenario.duration / config.physics_dt))
+        time = 0.0
+        for step in range(steps):
+            time = step * config.physics_dt
+            # Apply a completed solve.
+            if pending_command is not None and time >= pending_ready_time:
+                command = hover + pending_command
+                pending_command = None
+            # Kick off a new solve at control ticks once the solver is free.
+            if time >= next_control_time and time >= solver_free_time:
+                waypoint = scenario.active_waypoint(time)
+                goal = self._goal_state(waypoint.as_array())
+                control, iterations = self._solve(plant.observe(), goal)
+                latency = self._solve_latency(iterations)
+                compute_only = 0.0 if config.is_ideal else self.soc.solve_latency(iterations)
+                solve_times.append(compute_only)
+                solve_iterations.append(iterations)
+                compute_busy_time += compute_only
+                if config.is_ideal:
+                    command = hover + control
+                else:
+                    pending_command = control
+                    pending_ready_time = time + latency
+                    solver_free_time = time + max(latency, 1e-9)
+                next_control_time += control_period
+                # If the solve overran one or more control periods, resume on
+                # the next period boundary after the solver frees up.
+                if solver_free_time > next_control_time:
+                    periods_behind = int(np.ceil(
+                        (solver_free_time - next_control_time) / control_period))
+                    next_control_time += periods_behind * control_period
+
+            plant.step(command)
+            actuation_energy += total_actuation_power(
+                plant.rotor_thrusts, self.params) * config.physics_dt
+            if config.record_trajectory:
+                positions.append(plant.position)
+            if plant.has_crashed():
+                crashed = True
+                break
+
+        flight_time = max(time, config.physics_dt)
+        final_distance = float(np.linalg.norm(
+            plant.position - scenario.final_waypoint.as_array()))
+        success = (not crashed) and final_distance <= config.waypoint_tolerance
+
+        if config.is_ideal:
+            soc_power = 0.0
+        else:
+            activity = min(compute_busy_time / flight_time, 1.0)
+            soc_power = self.soc.power(activity)
+
+        return ScenarioResult(
+            scenario=scenario,
+            implementation=config.implementation,
+            frequency_mhz=config.frequency_mhz,
+            success=success,
+            crashed=crashed,
+            final_distance=final_distance,
+            solve_times=solve_times,
+            solve_iterations=solve_iterations,
+            actuation_power_w=actuation_energy / flight_time,
+            soc_power_w=soc_power,
+            flight_time_s=flight_time,
+            positions=np.array(positions) if positions else None,
+        )
+
+    def run_disturbance(self, disturbance: Disturbance,
+                        hold_position: Tuple[float, float, float] = (0.0, 0.0, 0.75),
+                        duration: float = 3.0) -> RecoveryResult:
+        """Hold position, inject a disturbance, and measure recovery."""
+        config = self.config
+        plant = self.plant
+        solver = self.solver
+        solver.reset()
+        hold = np.asarray(hold_position, dtype=np.float64)
+        plant.reset(hover_state(hold))
+        goal = self._goal_state(hold)
+
+        hover = hover_input(self.params)
+        command = hover.copy()
+        pending_command: Optional[np.ndarray] = None
+        pending_ready_time = 0.0
+        solver_free_time = 0.0
+        next_control_time = 0.0
+        control_period = (config.physics_dt if config.is_ideal
+                          else config.control_period)
+
+        times: List[float] = []
+        positions: List[np.ndarray] = []
+        steps = int(round(duration / config.physics_dt))
+        for step in range(steps):
+            time = step * config.physics_dt
+            if pending_command is not None and time >= pending_ready_time:
+                command = hover + pending_command
+                pending_command = None
+            if time >= next_control_time and time >= solver_free_time:
+                control, iterations = self._solve(plant.observe(), goal)
+                latency = self._solve_latency(iterations)
+                if config.is_ideal:
+                    command = hover + control
+                else:
+                    pending_command = control
+                    pending_ready_time = time + latency
+                    solver_free_time = time + max(latency, 1e-9)
+                next_control_time += control_period
+                if solver_free_time > next_control_time:
+                    periods_behind = int(np.ceil(
+                        (solver_free_time - next_control_time) / control_period))
+                    next_control_time += periods_behind * control_period
+
+            force, torque = disturbance.wrench_at(time, config.physics_dt)
+            plant.set_disturbance(force=force, torque=torque)
+            plant.step(command)
+            times.append(time)
+            positions.append(plant.position)
+            if plant.has_crashed():
+                break
+        plant.clear_disturbance()
+
+        result = analyze_recovery(times, positions, hold, disturbance.end_time)
+        result.disturbance = disturbance
+        if plant.has_crashed():
+            result.recovered = False
+            result.time_to_recovery = None
+        return result

@@ -1,0 +1,68 @@
+"""RTOS task model for concurrent workloads.
+
+The flight controller runs on Zephyr with two threads: the high-priority
+MPC task at a fixed rate and a best-effort background task (DroNet).  The
+model computes the MPC task's CPU occupancy and the background task's
+achievable throughput from the solve latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from .dronet import DroNetWorkload
+
+__all__ = ["ConcurrentTaskReport", "RTOSModel"]
+
+
+@dataclass(frozen=True)
+class ConcurrentTaskReport:
+    """CPU occupancy and background throughput for one configuration."""
+
+    implementation: str
+    frequency_mhz: float
+    mpc_rate_hz: float
+    mpc_solve_time_s: float
+    mpc_cpu_occupancy: float
+    background_fps: float
+
+    def as_row(self) -> Dict[str, float]:
+        return {
+            "implementation": self.implementation,
+            "frequency_mhz": self.frequency_mhz,
+            "mpc_rate_hz": self.mpc_rate_hz,
+            "mpc_solve_time_ms": self.mpc_solve_time_s * 1e3,
+            "mpc_cpu_occupancy_pct": self.mpc_cpu_occupancy * 100.0,
+            "background_fps": self.background_fps,
+        }
+
+
+@dataclass
+class RTOSModel:
+    """Two-task priority scheduler: periodic MPC + best-effort background."""
+
+    mpc_rate_hz: float = 50.0
+    context_switch_s: float = 5e-6
+    background: DroNetWorkload = DroNetWorkload()
+
+    def mpc_occupancy(self, solve_time_s: float) -> float:
+        """Fraction of CPU time consumed by the periodic MPC task."""
+        if solve_time_s < 0:
+            raise ValueError("solve_time must be non-negative")
+        period = 1.0 / self.mpc_rate_hz
+        busy = min(solve_time_s + 2.0 * self.context_switch_s, period)
+        return busy / period
+
+    def report(self, implementation: str, frequency_mhz: float,
+               solve_time_s: float) -> ConcurrentTaskReport:
+        occupancy = self.mpc_occupancy(solve_time_s)
+        fps = self.background.achievable_fps(frequency_mhz * 1e6, 1.0 - occupancy)
+        return ConcurrentTaskReport(
+            implementation=implementation,
+            frequency_mhz=frequency_mhz,
+            mpc_rate_hz=self.mpc_rate_hz,
+            mpc_solve_time_s=solve_time_s,
+            mpc_cpu_occupancy=occupancy,
+            background_fps=fps,
+        )

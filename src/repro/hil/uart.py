@@ -1,0 +1,51 @@
+"""UART link latency model.
+
+In the paper's HIL setup the host PC streams the simulated drone state and
+the active waypoint to the SoC over UART and receives the solved motor
+forces back the same way.  The paper observes that this link adds enough
+latency that real-time implementations cannot match the ideal policy on
+hard scenarios even when the solve itself is fast — so the link is modelled
+explicitly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["UARTLink"]
+
+
+@dataclass(frozen=True)
+class UARTLink:
+    """Round-trip UART communication between the host and the SoC."""
+
+    baud_rate: float = 2_000_000.0       # bits per second
+    bits_per_byte: float = 10.0          # 8N1 framing
+    downlink_bytes: int = 4 * (12 + 3) + 8   # state + waypoint floats + framing
+    uplink_bytes: int = 4 * 4 + 8            # four motor forces + framing
+    software_overhead_s: float = 3e-4        # driver / RTOS queueing per transfer
+
+    def _transfer_time(self, num_bytes: int) -> float:
+        if num_bytes <= 0:
+            return 0.0
+        return num_bytes * self.bits_per_byte / self.baud_rate + self.software_overhead_s
+
+    @property
+    def downlink_latency(self) -> float:
+        """Host -> SoC latency for one state/waypoint packet (seconds)."""
+        return self._transfer_time(self.downlink_bytes)
+
+    @property
+    def uplink_latency(self) -> float:
+        """SoC -> host latency for one solution packet (seconds)."""
+        return self._transfer_time(self.uplink_bytes)
+
+    @property
+    def round_trip_latency(self) -> float:
+        return self.downlink_latency + self.uplink_latency
+
+    @classmethod
+    def ideal(cls) -> "UARTLink":
+        """A zero-latency link (used by the ideal-policy reference)."""
+        return cls(baud_rate=1e12, downlink_bytes=0, uplink_bytes=0,
+                   software_overhead_s=0.0)

@@ -1,0 +1,78 @@
+"""matlib: a lightweight, traceable linear-algebra operator library.
+
+This package is the Python equivalent of the paper's ``matlib`` C library: a
+small set of dense operators (GEMM/GEMV, elementwise vector ops, reductions,
+data movement) through which the TinyMPC solver is written, so the same
+program can be characterized and mapped across scalar, vector, and systolic
+architecture models.
+"""
+
+from .matrix import Mat, MatlibError, matrix, vector, zeros
+from .trace import OpKind, OpRecord, Trace, active_trace, current_kernel, kernel_scope, tracing
+from .program import BufferInfo, MatlibProgram, capture_program
+from .ops import (
+    abs_,
+    add,
+    axpy,
+    clip,
+    copy_into,
+    dot,
+    ewise_max,
+    ewise_min,
+    ewise_mul,
+    gemm,
+    gemv,
+    gemv_t,
+    load,
+    max_abs_diff,
+    max_abs_reduce,
+    max_reduce,
+    negate,
+    outer,
+    relu,
+    scale,
+    store,
+    sub,
+    sub_scaled,
+)
+
+__all__ = [
+    "Mat",
+    "MatlibError",
+    "matrix",
+    "vector",
+    "zeros",
+    "OpKind",
+    "OpRecord",
+    "Trace",
+    "active_trace",
+    "current_kernel",
+    "kernel_scope",
+    "tracing",
+    "BufferInfo",
+    "MatlibProgram",
+    "capture_program",
+    "gemm",
+    "gemv",
+    "gemv_t",
+    "dot",
+    "outer",
+    "add",
+    "sub",
+    "scale",
+    "axpy",
+    "negate",
+    "ewise_min",
+    "ewise_max",
+    "ewise_mul",
+    "clip",
+    "abs_",
+    "relu",
+    "sub_scaled",
+    "max_reduce",
+    "max_abs_reduce",
+    "max_abs_diff",
+    "copy_into",
+    "load",
+    "store",
+]

@@ -1,0 +1,60 @@
+"""FLOP and byte accounting helpers for matlib operators.
+
+The paper characterizes TinyMPC kernels by their FLOP breakdown (Figure 1)
+and by the memory traffic each architecture must sustain.  These helpers
+centralize the arithmetic so every operator reports consistent numbers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "dtype_bytes",
+    "gemm_flops",
+    "gemv_flops",
+    "dot_flops",
+    "axpy_flops",
+    "elementwise_flops",
+    "reduction_flops",
+]
+
+
+def dtype_bytes(dtype) -> int:
+    """Return the storage size in bytes of a numpy dtype."""
+    return int(np.dtype(dtype).itemsize)
+
+
+def gemm_flops(m: int, k: int, n: int) -> int:
+    """FLOPs for a dense (m x k) @ (k x n) matrix multiply.
+
+    Each output element requires k multiplies and k - 1 adds; we use the
+    conventional 2*m*k*n count, which is what roofline-style
+    characterizations (and the paper's Figure 1) report.
+    """
+    return 2 * m * k * n
+
+
+def gemv_flops(m: int, n: int) -> int:
+    """FLOPs for a dense (m x n) matrix-vector product."""
+    return 2 * m * n
+
+
+def dot_flops(n: int) -> int:
+    """FLOPs for a length-n dot product."""
+    return 2 * n
+
+
+def axpy_flops(n: int) -> int:
+    """FLOPs for y <- a*x + y over length-n vectors."""
+    return 2 * n
+
+
+def elementwise_flops(n: int, ops_per_element: int = 1) -> int:
+    """FLOPs for an elementwise operation over n elements."""
+    return n * ops_per_element
+
+
+def reduction_flops(n: int) -> int:
+    """FLOPs (comparisons/adds) for a length-n reduction."""
+    return max(n - 1, 0)

@@ -1,0 +1,314 @@
+"""matlib operator library.
+
+Each operator computes its result with numpy (reference semantics) and, when
+a trace is active (``repro.matlib.trace.tracing``), records an
+:class:`~repro.matlib.trace.OpRecord` describing the operation: operand
+buffer names, shapes, FLOPs, and bytes moved.  The recorded program is what
+the code-generation flow optimizes and what the architecture backends time.
+
+This mirrors the role of the paper's ``matlib`` C library (Section 3.2): a
+small set of dense linear-algebra operators through which TinyMPC is written
+so the same program can be mapped onto scalar, vector, and systolic
+hardware.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from . import flops as _flops
+from .matrix import Mat, MatlibError, as_array
+from .trace import OpKind, OpRecord, record
+
+__all__ = [
+    "gemm",
+    "gemv",
+    "gemv_t",
+    "dot",
+    "outer",
+    "add",
+    "sub",
+    "scale",
+    "axpy",
+    "negate",
+    "ewise_min",
+    "ewise_max",
+    "ewise_mul",
+    "clip",
+    "abs_",
+    "relu",
+    "sub_scaled",
+    "max_reduce",
+    "max_abs_reduce",
+    "max_abs_diff",
+    "copy_into",
+    "load",
+    "store",
+]
+
+_TMP_COUNTER = [0]
+
+Scalar = Union[int, float]
+Operand = Union[Mat, np.ndarray, Sequence[float], Scalar]
+
+
+def _fresh_name(prefix: str) -> str:
+    _TMP_COUNTER[0] += 1
+    return "{}_{}".format(prefix, _TMP_COUNTER[0])
+
+
+def _name_of(value: Operand) -> str:
+    if isinstance(value, Mat):
+        return value.name
+    if np.isscalar(value):
+        return "<scalar>"
+    return "<literal>"
+
+
+def _shape_of(value: Operand) -> Tuple[int, ...]:
+    if np.isscalar(value):
+        return ()
+    return tuple(as_array(value).shape)
+
+
+def _bytes_of(value: Operand) -> int:
+    if np.isscalar(value):
+        return 0
+    return int(as_array(value).nbytes)
+
+
+def _result(array: np.ndarray, out: Optional[Mat], default_prefix: str) -> Mat:
+    if out is not None:
+        out.assign(array)
+        return out
+    return Mat(array, name=_fresh_name(default_prefix), dtype=array.dtype)
+
+
+def _record_op(name: str, kind: OpKind, inputs: Sequence[Operand], result: Mat,
+               flop_count: int) -> None:
+    record(OpRecord(
+        name=name,
+        kind=kind,
+        inputs=tuple(_name_of(x) for x in inputs),
+        output=result.name,
+        shapes=tuple(_shape_of(x) for x in inputs),
+        out_shape=tuple(result.shape),
+        dtype=result.dtype.name,
+        flops=flop_count,
+        bytes_read=sum(_bytes_of(x) for x in inputs),
+        bytes_written=result.nbytes,
+    ))
+
+
+# ---------------------------------------------------------------------------
+# Matrix products
+# ---------------------------------------------------------------------------
+
+def gemm(a: Operand, b: Operand, out: Optional[Mat] = None) -> Mat:
+    """Dense matrix-matrix product ``a @ b``."""
+    a_arr, b_arr = as_array(a), as_array(b)
+    if a_arr.ndim != 2 or b_arr.ndim != 2:
+        raise MatlibError("gemm requires 2-D operands, got {} and {}".format(
+            a_arr.shape, b_arr.shape))
+    if a_arr.shape[1] != b_arr.shape[0]:
+        raise MatlibError("gemm inner dimensions mismatch: {} vs {}".format(
+            a_arr.shape, b_arr.shape))
+    result = _result(a_arr @ b_arr, out, "gemm")
+    m, k = a_arr.shape
+    n = b_arr.shape[1]
+    _record_op("gemm", OpKind.GEMM, (a, b), result, _flops.gemm_flops(m, k, n))
+    return result
+
+
+def gemv(a: Operand, x: Operand, out: Optional[Mat] = None) -> Mat:
+    """Dense matrix-vector product ``a @ x``."""
+    a_arr, x_arr = as_array(a), as_array(x)
+    if a_arr.ndim != 2 or x_arr.ndim != 1:
+        raise MatlibError("gemv requires a matrix and a vector, got {} and {}".format(
+            a_arr.shape, x_arr.shape))
+    if a_arr.shape[1] != x_arr.shape[0]:
+        raise MatlibError("gemv dimension mismatch: {} vs {}".format(
+            a_arr.shape, x_arr.shape))
+    result = _result(a_arr @ x_arr, out, "gemv")
+    m, n = a_arr.shape
+    _record_op("gemv", OpKind.GEMV, (a, x), result, _flops.gemv_flops(m, n))
+    return result
+
+
+def gemv_t(a: Operand, x: Operand, out: Optional[Mat] = None) -> Mat:
+    """Transposed matrix-vector product ``a.T @ x``."""
+    a_arr, x_arr = as_array(a), as_array(x)
+    if a_arr.ndim != 2 or x_arr.ndim != 1:
+        raise MatlibError("gemv_t requires a matrix and a vector, got {} and {}".format(
+            a_arr.shape, x_arr.shape))
+    if a_arr.shape[0] != x_arr.shape[0]:
+        raise MatlibError("gemv_t dimension mismatch: {} vs {}".format(
+            a_arr.shape, x_arr.shape))
+    result = _result(a_arr.T @ x_arr, out, "gemv_t")
+    m, n = a_arr.shape
+    _record_op("gemv_t", OpKind.GEMV, (a, x), result, _flops.gemv_flops(n, m))
+    return result
+
+
+def dot(x: Operand, y: Operand) -> float:
+    """Inner product of two vectors (returns a Python float)."""
+    x_arr, y_arr = as_array(x), as_array(y)
+    if x_arr.shape != y_arr.shape or x_arr.ndim != 1:
+        raise MatlibError("dot requires equal-length vectors")
+    value = float(x_arr @ y_arr)
+    result = Mat(np.array([value]), name=_fresh_name("dot"))
+    _record_op("dot", OpKind.REDUCTION, (x, y), result, _flops.dot_flops(x_arr.size))
+    return value
+
+
+def outer(x: Operand, y: Operand, out: Optional[Mat] = None) -> Mat:
+    """Outer product of two vectors."""
+    x_arr, y_arr = as_array(x), as_array(y)
+    if x_arr.ndim != 1 or y_arr.ndim != 1:
+        raise MatlibError("outer requires vectors")
+    result = _result(np.outer(x_arr, y_arr), out, "outer")
+    _record_op("outer", OpKind.GEMM, (x, y), result, x_arr.size * y_arr.size)
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Elementwise vector operations
+# ---------------------------------------------------------------------------
+
+def _elementwise(name: str, fn, operands: Sequence[Operand], out: Optional[Mat],
+                 ops_per_element: int = 1) -> Mat:
+    arrays = [as_array(x) if not np.isscalar(x) else x for x in operands]
+    value = fn(*arrays)
+    result = _result(np.asarray(value), out, name)
+    _record_op(name, OpKind.ELEMENTWISE, operands, result,
+               _flops.elementwise_flops(result.size, ops_per_element))
+    return result
+
+
+def add(x: Operand, y: Operand, out: Optional[Mat] = None) -> Mat:
+    """Elementwise ``x + y``."""
+    return _elementwise("add", np.add, (x, y), out)
+
+
+def sub(x: Operand, y: Operand, out: Optional[Mat] = None) -> Mat:
+    """Elementwise ``x - y``."""
+    return _elementwise("sub", np.subtract, (x, y), out)
+
+
+def scale(alpha: Scalar, x: Operand, out: Optional[Mat] = None) -> Mat:
+    """Elementwise ``alpha * x``."""
+    return _elementwise("scale", lambda a, b: a * b, (alpha, x), out)
+
+
+def axpy(alpha: Scalar, x: Operand, y: Operand, out: Optional[Mat] = None) -> Mat:
+    """``alpha * x + y``."""
+    return _elementwise("axpy", lambda a, xv, yv: a * xv + yv, (alpha, x, y), out,
+                        ops_per_element=2)
+
+
+def negate(x: Operand, out: Optional[Mat] = None) -> Mat:
+    """Elementwise ``-x``."""
+    return _elementwise("negate", np.negative, (x,), out)
+
+
+def ewise_mul(x: Operand, y: Operand, out: Optional[Mat] = None) -> Mat:
+    """Elementwise (Hadamard) product — diagonal-matrix scaling."""
+    return _elementwise("ewise_mul", np.multiply, (x, y), out)
+
+
+def ewise_min(x: Operand, y: Operand, out: Optional[Mat] = None) -> Mat:
+    """Elementwise minimum."""
+    return _elementwise("ewise_min", np.minimum, (x, y), out)
+
+
+def ewise_max(x: Operand, y: Operand, out: Optional[Mat] = None) -> Mat:
+    """Elementwise maximum."""
+    return _elementwise("ewise_max", np.maximum, (x, y), out)
+
+
+def clip(x: Operand, lower: Operand, upper: Operand, out: Optional[Mat] = None) -> Mat:
+    """Elementwise ``min(upper, max(lower, x))`` — the slack projection."""
+    return _elementwise(
+        "clip",
+        lambda xv, lo, hi: np.minimum(np.asarray(hi), np.maximum(np.asarray(lo), xv)),
+        (x, lower, upper), out, ops_per_element=2)
+
+
+def abs_(x: Operand, out: Optional[Mat] = None) -> Mat:
+    """Elementwise absolute value (maps to ReLU(x) + ReLU(-x) on Gemmini)."""
+    return _elementwise("abs", np.abs, (x,), out)
+
+
+def relu(x: Operand, out: Optional[Mat] = None) -> Mat:
+    """Elementwise ``max(x, 0)`` — Gemmini's native activation."""
+    return _elementwise("relu", lambda xv: np.maximum(xv, 0.0), (x,), out)
+
+
+def sub_scaled(x: Operand, alpha: Scalar, y: Operand, out: Optional[Mat] = None) -> Mat:
+    """``x - alpha * y`` in one fused elementwise pass."""
+    return _elementwise("sub_scaled", lambda xv, a, yv: xv - a * yv, (x, alpha, y), out,
+                        ops_per_element=2)
+
+
+# ---------------------------------------------------------------------------
+# Reductions
+# ---------------------------------------------------------------------------
+
+def _reduction(name: str, fn, operands: Sequence[Operand],
+               flop_count: int) -> float:
+    arrays = [as_array(x) if not np.isscalar(x) else x for x in operands]
+    value = float(fn(*arrays))
+    result = Mat(np.array([value]), name=_fresh_name(name))
+    _record_op(name, OpKind.REDUCTION, operands, result, flop_count)
+    return value
+
+
+def max_reduce(x: Operand) -> float:
+    """Global maximum of a vector or matrix."""
+    x_arr = as_array(x)
+    return _reduction("max_reduce", np.max, (x,), _flops.reduction_flops(x_arr.size))
+
+
+def max_abs_reduce(x: Operand) -> float:
+    """Global maximum of ``|x|`` — used by the residual kernels."""
+    x_arr = as_array(x)
+    return _reduction("max_abs_reduce", lambda v: np.max(np.abs(v)), (x,),
+                      _flops.reduction_flops(x_arr.size) + x_arr.size)
+
+
+def max_abs_diff(x: Operand, y: Operand) -> float:
+    """Global maximum of ``|x - y|`` — the primal/dual residual pattern."""
+    x_arr, y_arr = as_array(x), as_array(y)
+    if x_arr.shape != y_arr.shape:
+        raise MatlibError("max_abs_diff requires equal shapes")
+    return _reduction("max_abs_diff", lambda a, b: np.max(np.abs(a - b)), (x, y),
+                      _flops.reduction_flops(x_arr.size) + 2 * x_arr.size)
+
+
+# ---------------------------------------------------------------------------
+# Data movement
+# ---------------------------------------------------------------------------
+
+def copy_into(source: Operand, destination: Mat) -> Mat:
+    """Copy a buffer into another buffer (explicit data movement)."""
+    src = as_array(source)
+    destination.assign(src)
+    _record_op("copy", OpKind.DATA_MOVEMENT, (source,), destination, 0)
+    return destination
+
+
+def load(source: Operand, name: Optional[str] = None) -> Mat:
+    """Load data from "memory" into a fresh working buffer."""
+    src = as_array(source)
+    result = Mat(src.copy(), name=name or _fresh_name("load"), dtype=src.dtype)
+    _record_op("load", OpKind.DATA_MOVEMENT, (source,), result, 0)
+    return result
+
+
+def store(source: Mat, destination: Mat) -> Mat:
+    """Store a working buffer back to its "memory" home."""
+    destination.assign(source.data)
+    _record_op("store", OpKind.DATA_MOVEMENT, (source,), destination, 0)
+    return destination

@@ -1,0 +1,45 @@
+"""TinyMPC: the embedded ADMM MPC solver that is the paper's target workload."""
+
+from .problem import MPCProblem, default_quadrotor_problem
+from .cache import LQRCache, compute_cache, dare, riccati_recursion
+from .workspace import TinyMPCWorkspace
+from .solver import SolverSettings, TinyMPCSolution, TinyMPCSolver
+from .kernels import (
+    ALL_KERNELS,
+    ELEMENTWISE_KERNELS,
+    ITERATIVE_KERNELS,
+    KERNEL_CLASSES,
+    REDUCTION_KERNELS,
+    build_iteration_program,
+    kernel_flop_breakdown,
+)
+from .reference import (
+    ReferenceSolution,
+    condensed_qp_solution,
+    lqr_tracking_solution,
+    rollout,
+)
+
+__all__ = [
+    "MPCProblem",
+    "default_quadrotor_problem",
+    "LQRCache",
+    "compute_cache",
+    "dare",
+    "riccati_recursion",
+    "TinyMPCWorkspace",
+    "SolverSettings",
+    "TinyMPCSolution",
+    "TinyMPCSolver",
+    "ALL_KERNELS",
+    "ELEMENTWISE_KERNELS",
+    "ITERATIVE_KERNELS",
+    "KERNEL_CLASSES",
+    "REDUCTION_KERNELS",
+    "build_iteration_program",
+    "kernel_flop_breakdown",
+    "ReferenceSolution",
+    "condensed_qp_solution",
+    "lqr_tracking_solution",
+    "rollout",
+]

@@ -1,0 +1,124 @@
+"""Pre-computed LQR cache for TinyMPC.
+
+TinyMPC avoids online Riccati factorizations by pre-computing the
+infinite-horizon LQR solution of the ADMM-augmented problem.  The cached
+matrices are exactly the ones named in the paper's Algorithm 1:
+
+* ``Kinf``      — infinite-horizon feedback gain,
+* ``Pinf``      — infinite-horizon cost-to-go Hessian,
+* ``Quu_inv``   — inverse of the input-space Hessian ``R_aug + B' Pinf B``,
+* ``AmBKt``     — ``(A - B Kinf)'`` used by the backward pass.
+
+This module also provides the finite-horizon Riccati recursion used as a
+reference for validation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from .problem import MPCProblem
+
+__all__ = ["LQRCache", "compute_cache", "riccati_recursion", "dare"]
+
+
+@dataclass(frozen=True)
+class LQRCache:
+    """Infinite-horizon LQR matrices for the ADMM-augmented problem."""
+
+    Kinf: np.ndarray
+    Pinf: np.ndarray
+    Quu_inv: np.ndarray
+    AmBKt: np.ndarray
+    rho: float
+    iterations: int
+    residual: float
+
+    @property
+    def state_dim(self) -> int:
+        return self.Pinf.shape[0]
+
+    @property
+    def input_dim(self) -> int:
+        return self.Kinf.shape[0]
+
+    def as_dict(self) -> dict:
+        return {
+            "Kinf": self.Kinf,
+            "Pinf": self.Pinf,
+            "Quu_inv": self.Quu_inv,
+            "AmBKt": self.AmBKt,
+        }
+
+
+def dare(A: np.ndarray, B: np.ndarray, Q: np.ndarray, R: np.ndarray,
+         tolerance: float = 1e-10, max_iterations: int = 10000
+         ) -> Tuple[np.ndarray, np.ndarray, int, float]:
+    """Solve the discrete algebraic Riccati equation by fixed-point iteration.
+
+    Returns ``(P, K, iterations, residual)`` where ``K`` is the associated
+    feedback gain ``(R + B'PB)^-1 B'PA``.  Fixed-point Riccati iteration is
+    what TinyMPC itself uses offline, and it converges for stabilizable,
+    detectable problems.
+    """
+    A = np.asarray(A, dtype=np.float64)
+    B = np.asarray(B, dtype=np.float64)
+    Q = np.asarray(Q, dtype=np.float64)
+    R = np.asarray(R, dtype=np.float64)
+    P = Q.copy()
+    K = np.zeros((B.shape[1], A.shape[0]))
+    residual = np.inf
+    for iteration in range(1, max_iterations + 1):
+        BtP = B.T @ P
+        K_new = np.linalg.solve(R + BtP @ B, BtP @ A)
+        P_new = Q + A.T @ P @ (A - B @ K_new)
+        # Symmetrize to suppress numerical drift.
+        P_new = 0.5 * (P_new + P_new.T)
+        residual = float(np.max(np.abs(P_new - P)))
+        P, K = P_new, K_new
+        if residual < tolerance:
+            return P, K, iteration, residual
+    return P, K, max_iterations, residual
+
+
+def compute_cache(problem: MPCProblem, tolerance: float = 1e-10,
+                  max_iterations: int = 10000) -> LQRCache:
+    """Compute the TinyMPC cache for an MPC problem."""
+    Q_aug = problem.augmented_state_cost()
+    R_aug = problem.augmented_input_cost()
+    Pinf, Kinf, iterations, residual = dare(
+        problem.A, problem.B, Q_aug, R_aug,
+        tolerance=tolerance, max_iterations=max_iterations)
+    Quu_inv = np.linalg.inv(R_aug + problem.B.T @ Pinf @ problem.B)
+    AmBKt = (problem.A - problem.B @ Kinf).T
+    return LQRCache(Kinf=Kinf, Pinf=Pinf, Quu_inv=Quu_inv, AmBKt=AmBKt,
+                    rho=problem.rho, iterations=iterations, residual=residual)
+
+
+def riccati_recursion(problem: MPCProblem, horizon: int = None
+                      ) -> Tuple[List[np.ndarray], List[np.ndarray]]:
+    """Finite-horizon Riccati recursion (time-varying gains).
+
+    Returns ``(K_list, P_list)`` with ``K_list[i]`` the gain at step ``i``
+    (length N-1) and ``P_list[i]`` the cost-to-go Hessian (length N).  Used
+    as a validation reference: as the horizon grows the first gain converges
+    to ``Kinf``.
+    """
+    N = horizon or problem.horizon
+    Q_aug = problem.augmented_state_cost()
+    R_aug = problem.augmented_input_cost()
+    A, B = problem.A, problem.B
+    P_list: List[np.ndarray] = [None] * N
+    K_list: List[np.ndarray] = [None] * (N - 1)
+    P_list[N - 1] = Q_aug.copy()
+    for i in range(N - 2, -1, -1):
+        P_next = P_list[i + 1]
+        BtP = B.T @ P_next
+        K = np.linalg.solve(R_aug + BtP @ B, BtP @ A)
+        P = Q_aug + A.T @ P_next @ (A - B @ K)
+        P_list[i] = 0.5 * (P + P.T)
+        K_list[i] = K
+    return K_list, P_list

@@ -1,0 +1,429 @@
+"""TinyMPC kernels.
+
+The paper breaks TinyMPC into three kernel classes (Section 3.1):
+
+* **Iterative operations** with loop-carried dependencies
+  (``forward_pass_*``, ``backward_pass_*``, ``update_linear_cost_4``),
+* **Elementwise operations** on full-horizon vectors
+  (``update_slack_*``, ``update_dual_1``, ``update_linear_cost_1..3``),
+* **Global reductions** (the four residual kernels).
+
+Every kernel exists in two forms here:
+
+* a *fast* numpy implementation used by the closed-loop solver
+  (:mod:`repro.tinympc.solver`), and
+* a *matlib* implementation that routes through :mod:`repro.matlib` so the
+  operator sequence can be traced, optimized by the codegen flow, and timed
+  on the architecture models.
+
+``tests/tinympc/test_kernel_equivalence.py`` asserts the two forms agree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from .. import matlib as ml
+from ..matlib import Mat, kernel_scope
+from .cache import LQRCache
+from .problem import MPCProblem
+from .workspace import TinyMPCWorkspace
+
+__all__ = [
+    "KernelClass",
+    "KERNEL_CLASSES",
+    "ITERATIVE_KERNELS",
+    "ELEMENTWISE_KERNELS",
+    "REDUCTION_KERNELS",
+    "ALL_KERNELS",
+    "forward_pass",
+    "backward_pass",
+    "update_slack",
+    "update_dual",
+    "update_linear_cost",
+    "compute_residuals",
+    "build_iteration_program",
+    "kernel_flop_breakdown",
+]
+
+
+# ---------------------------------------------------------------------------
+# Kernel registry
+# ---------------------------------------------------------------------------
+
+KernelClass = str
+
+ITERATIVE_KERNELS: Tuple[str, ...] = (
+    "forward_pass_1",
+    "forward_pass_2",
+    "backward_pass_1",
+    "backward_pass_2",
+    "update_linear_cost_4",
+)
+
+ELEMENTWISE_KERNELS: Tuple[str, ...] = (
+    "update_slack_1",
+    "update_slack_2",
+    "update_dual_1",
+    "update_linear_cost_1",
+    "update_linear_cost_2",
+    "update_linear_cost_3",
+)
+
+REDUCTION_KERNELS: Tuple[str, ...] = (
+    "primal_residual_state",
+    "dual_residual_state",
+    "primal_residual_input",
+    "dual_residual_input",
+)
+
+ALL_KERNELS: Tuple[str, ...] = ITERATIVE_KERNELS + ELEMENTWISE_KERNELS + REDUCTION_KERNELS
+
+KERNEL_CLASSES: Dict[str, KernelClass] = {}
+KERNEL_CLASSES.update({name: "iterative" for name in ITERATIVE_KERNELS})
+KERNEL_CLASSES.update({name: "elementwise" for name in ELEMENTWISE_KERNELS})
+KERNEL_CLASSES.update({name: "reduction" for name in REDUCTION_KERNELS})
+
+
+# ---------------------------------------------------------------------------
+# Fast (numpy) kernel implementations
+# ---------------------------------------------------------------------------
+
+def forward_pass(ws: TinyMPCWorkspace, cache: LQRCache) -> None:
+    """Roll the trajectory forward with the cached LQR feedback.
+
+    ``forward_pass_1``: u[i] = -Kinf x[i] - d[i]
+    ``forward_pass_2``: x[i+1] = A x[i] + B u[i]
+    """
+    A, B = ws.problem.A, ws.problem.B
+    Kinf = cache.Kinf
+    for i in range(ws.horizon - 1):
+        ws.u[i] = -(Kinf @ ws.x[i]) - ws.d[i]
+        ws.x[i + 1] = A @ ws.x[i] + B @ ws.u[i]
+
+
+def backward_pass(ws: TinyMPCWorkspace, cache: LQRCache) -> None:
+    """Backward Riccati-gradient recursion over the horizon.
+
+    ``backward_pass_1``: d[i] = Quu_inv (B' p[i+1] + r[i])
+    ``backward_pass_2``: p[i] = q[i] + AmBKt p[i+1] - Kinf' r[i]
+    """
+    B = ws.problem.B
+    Quu_inv, AmBKt, Kinf = cache.Quu_inv, cache.AmBKt, cache.Kinf
+    for i in range(ws.horizon - 2, -1, -1):
+        ws.d[i] = Quu_inv @ (B.T @ ws.p[i + 1] + ws.r[i])
+        ws.p[i] = ws.q[i] + AmBKt @ ws.p[i + 1] - Kinf.T @ ws.r[i]
+
+
+def update_slack(ws: TinyMPCWorkspace) -> None:
+    """Project the (primal + dual) iterates onto the box constraints.
+
+    ``update_slack_1``: znew = clip(u + y, u_min, u_max)
+    ``update_slack_2``: vnew = clip(x + g, x_min, x_max)
+    """
+    problem = ws.problem
+    np.clip(ws.u + ws.y, problem.u_min, problem.u_max, out=ws.znew)
+    np.clip(ws.x + ws.g, problem.x_min, problem.x_max, out=ws.vnew)
+
+
+def update_dual(ws: TinyMPCWorkspace) -> None:
+    """Scaled dual ascent step.
+
+    ``update_dual_1``: y += u - znew ; g += x - vnew
+    """
+    ws.y += ws.u - ws.znew
+    ws.g += ws.x - ws.vnew
+
+
+def update_linear_cost(ws: TinyMPCWorkspace, cache: LQRCache) -> None:
+    """Refresh the linear cost terms from references, slacks, and duals.
+
+    ``update_linear_cost_1``: r = -Uref R - rho (znew - y)
+    ``update_linear_cost_2``: q = -(Xref Q)
+    ``update_linear_cost_3``: q -= rho (vnew - g)
+    ``update_linear_cost_4``: p[N-1] = -(Xref[N-1] Pinf) - rho (vnew[N-1] - g[N-1])
+    """
+    problem = ws.problem
+    rho = problem.rho
+    ws.r[...] = -(ws.Uref @ problem.R) - rho * (ws.znew - ws.y)
+    ws.q[...] = -(ws.Xref @ problem.Q)
+    ws.q -= rho * (ws.vnew - ws.g)
+    ws.p[-1] = -(ws.Xref[-1] @ cache.Pinf) - rho * (ws.vnew[-1] - ws.g[-1])
+
+
+def compute_residuals(ws: TinyMPCWorkspace) -> Dict[str, float]:
+    """Global-maximum primal and dual residuals (Algorithm 3)."""
+    rho = ws.problem.rho
+    ws.primal_residual_state = float(np.max(np.abs(ws.x - ws.vnew)))
+    ws.dual_residual_state = rho * float(np.max(np.abs(ws.v - ws.vnew)))
+    ws.primal_residual_input = float(np.max(np.abs(ws.u - ws.znew)))
+    ws.dual_residual_input = rho * float(np.max(np.abs(ws.z - ws.znew)))
+    return ws.residuals()
+
+
+# ---------------------------------------------------------------------------
+# matlib (traced) kernel implementations
+# ---------------------------------------------------------------------------
+
+class _MatBuffers:
+    """Mat views of the workspace, problem, and cache used for tracing."""
+
+    def __init__(self, ws: TinyMPCWorkspace, cache: LQRCache) -> None:
+        problem = ws.problem
+        self.problem = problem
+        self.cache = cache
+        # Problem/cache constants (scratchpad-resident in the Gemmini mapping).
+        self.Adyn = Mat(problem.A, name="Adyn")
+        self.Bdyn = Mat(problem.B, name="Bdyn")
+        self.BdynT = Mat(problem.B.T.copy(), name="BdynT")
+        self.Q = Mat(problem.Q, name="Q")
+        self.R = Mat(problem.R, name="R")
+        self.Kinf = Mat(cache.Kinf, name="Kinf")
+        self.KinfT = Mat(cache.Kinf.T.copy(), name="KinfT")
+        self.Pinf = Mat(cache.Pinf, name="Pinf")
+        self.Quu_inv = Mat(cache.Quu_inv, name="Quu_inv")
+        self.AmBKt = Mat(cache.AmBKt, name="AmBKt")
+        self.u_min = Mat(problem.u_min, name="u_min")
+        self.u_max = Mat(problem.u_max, name="u_max")
+        self.x_min = Mat(problem.x_min, name="x_min")
+        self.x_max = Mat(problem.x_max, name="x_max")
+        # Horizon-indexed workspace columns.
+        N = ws.horizon
+        self.x = [Mat(ws.x[i], name="x[{}]".format(i)) for i in range(N)]
+        self.u = [Mat(ws.u[i], name="u[{}]".format(i)) for i in range(N - 1)]
+        self.q = [Mat(ws.q[i], name="q[{}]".format(i)) for i in range(N)]
+        self.r = [Mat(ws.r[i], name="r[{}]".format(i)) for i in range(N - 1)]
+        self.p = [Mat(ws.p[i], name="p[{}]".format(i)) for i in range(N)]
+        self.d = [Mat(ws.d[i], name="d[{}]".format(i)) for i in range(N - 1)]
+        self.v = [Mat(ws.v[i], name="v[{}]".format(i)) for i in range(N)]
+        self.vnew = [Mat(ws.vnew[i], name="vnew[{}]".format(i)) for i in range(N)]
+        self.z = [Mat(ws.z[i], name="z[{}]".format(i)) for i in range(N - 1)]
+        self.znew = [Mat(ws.znew[i], name="znew[{}]".format(i)) for i in range(N - 1)]
+        self.g = [Mat(ws.g[i], name="g[{}]".format(i)) for i in range(N)]
+        self.y = [Mat(ws.y[i], name="y[{}]".format(i)) for i in range(N - 1)]
+        self.Xref = [Mat(ws.Xref[i], name="Xref[{}]".format(i)) for i in range(N)]
+        self.Uref = [Mat(ws.Uref[i], name="Uref[{}]".format(i)) for i in range(N - 1)]
+
+    def write_back(self, ws: TinyMPCWorkspace) -> None:
+        """Copy the Mat values back into the numpy workspace."""
+        for i in range(ws.horizon):
+            ws.x[i] = self.x[i].data
+            ws.q[i] = self.q[i].data
+            ws.p[i] = self.p[i].data
+            ws.v[i] = self.v[i].data
+            ws.vnew[i] = self.vnew[i].data
+            ws.g[i] = self.g[i].data
+        for i in range(ws.horizon - 1):
+            ws.u[i] = self.u[i].data
+            ws.r[i] = self.r[i].data
+            ws.d[i] = self.d[i].data
+            ws.z[i] = self.z[i].data
+            ws.znew[i] = self.znew[i].data
+            ws.y[i] = self.y[i].data
+
+
+def _traced_forward_pass(buf: _MatBuffers, horizon: int) -> None:
+    for i in range(horizon - 1):
+        with kernel_scope("forward_pass_1"):
+            Kx = ml.gemv(buf.Kinf, buf.x[i])
+            neg_Kx = ml.negate(Kx)
+            ml.sub(neg_Kx, buf.d[i], out=buf.u[i])
+        with kernel_scope("forward_pass_2"):
+            Ax = ml.gemv(buf.Adyn, buf.x[i])
+            Bu = ml.gemv(buf.Bdyn, buf.u[i])
+            ml.add(Ax, Bu, out=buf.x[i + 1])
+
+
+def _traced_backward_pass(buf: _MatBuffers, horizon: int) -> None:
+    for i in range(horizon - 2, -1, -1):
+        with kernel_scope("backward_pass_1"):
+            Btp = ml.gemv(buf.BdynT, buf.p[i + 1])
+            Btp_r = ml.add(Btp, buf.r[i])
+            ml.gemv(buf.Quu_inv, Btp_r, out=buf.d[i])
+        with kernel_scope("backward_pass_2"):
+            Ap = ml.gemv(buf.AmBKt, buf.p[i + 1])
+            Kr = ml.gemv(buf.KinfT, buf.r[i])
+            q_plus_Ap = ml.add(buf.q[i], Ap)
+            ml.sub(q_plus_Ap, Kr, out=buf.p[i])
+
+
+def _stack(mats, name: str) -> Mat:
+    """Stack per-knot-point vectors into one whole-horizon buffer.
+
+    TinyMPC stores trajectories as dense (dim x N) matrices, so the
+    elementwise and reduction kernels operate on the full horizon at once —
+    the "larger tensors" (~40-120 elements) the paper says vector hardware
+    and register grouping exploit.
+    """
+    return Mat(np.concatenate([m.data for m in mats]), name=name)
+
+
+def _scatter(stacked: Mat, mats) -> None:
+    """Write a stacked result back into the per-knot-point buffers."""
+    width = mats[0].data.shape[0]
+    for index, mat in enumerate(mats):
+        mat.data[...] = stacked.data[index * width:(index + 1) * width]
+
+
+def _tile_bound(bound: Mat, count: int, name: str) -> Mat:
+    return Mat(np.tile(bound.data, count), name=name)
+
+
+def _traced_update_slack(buf: _MatBuffers, horizon: int) -> None:
+    with kernel_scope("update_slack_1"):
+        u_all = _stack(buf.u, "u")
+        y_all = _stack(buf.y, "y")
+        uy = ml.add(u_all, y_all)
+        znew_all = ml.clip(uy, _tile_bound(buf.u_min, horizon - 1, "u_min"),
+                           _tile_bound(buf.u_max, horizon - 1, "u_max"),
+                           out=Mat(np.zeros_like(uy.data), name="znew"))
+        _scatter(znew_all, buf.znew)
+    with kernel_scope("update_slack_2"):
+        x_all = _stack(buf.x, "x")
+        g_all = _stack(buf.g, "g")
+        xg = ml.add(x_all, g_all)
+        vnew_all = ml.clip(xg, _tile_bound(buf.x_min, horizon, "x_min"),
+                           _tile_bound(buf.x_max, horizon, "x_max"),
+                           out=Mat(np.zeros_like(xg.data), name="vnew"))
+        _scatter(vnew_all, buf.vnew)
+
+
+def _traced_update_dual(buf: _MatBuffers, horizon: int) -> None:
+    with kernel_scope("update_dual_1"):
+        u_all = _stack(buf.u, "u")
+        znew_all = _stack(buf.znew, "znew")
+        y_all = _stack(buf.y, "y")
+        du = ml.sub(u_all, znew_all)
+        y_new = ml.add(y_all, du, out=Mat(np.zeros_like(y_all.data), name="y"))
+        _scatter(y_new, buf.y)
+        x_all = _stack(buf.x, "x")
+        vnew_all = _stack(buf.vnew, "vnew")
+        g_all = _stack(buf.g, "g")
+        dx = ml.sub(x_all, vnew_all)
+        g_new = ml.add(g_all, dx, out=Mat(np.zeros_like(g_all.data), name="g"))
+        _scatter(g_new, buf.g)
+
+
+def _is_diagonal(matrix: np.ndarray) -> bool:
+    return bool(np.allclose(matrix, np.diag(np.diag(matrix))))
+
+
+def _traced_update_linear_cost(buf: _MatBuffers, horizon: int) -> None:
+    rho = buf.problem.rho
+    diagonal_costs = _is_diagonal(buf.problem.R) and _is_diagonal(buf.problem.Q)
+    with kernel_scope("update_linear_cost_1"):
+        znew_all = _stack(buf.znew, "znew")
+        y_all = _stack(buf.y, "y")
+        zy = ml.sub(znew_all, y_all)
+        if diagonal_costs:
+            uref_all = _stack(buf.Uref, "Uref")
+            r_diag = Mat(np.tile(np.diag(buf.problem.R), horizon - 1), name="R_diag")
+            uR = ml.ewise_mul(uref_all, r_diag)
+        else:
+            uR = _stack([ml.gemv_t(buf.R, buf.Uref[i]) for i in range(horizon - 1)],
+                        "UrefR")
+        neg_uR = ml.negate(uR)
+        r_new = ml.sub_scaled(neg_uR, rho, zy,
+                              out=Mat(np.zeros_like(zy.data), name="r"))
+        _scatter(r_new, buf.r)
+    with kernel_scope("update_linear_cost_2"):
+        if diagonal_costs:
+            xref_all = _stack(buf.Xref, "Xref")
+            q_diag = Mat(np.tile(np.diag(buf.problem.Q), horizon), name="Q_diag")
+            xQ = ml.ewise_mul(xref_all, q_diag)
+            q_new = ml.negate(xQ, out=Mat(np.zeros_like(xQ.data), name="q"))
+            _scatter(q_new, buf.q)
+        else:
+            for i in range(horizon):
+                xQ = ml.gemv_t(buf.Q, buf.Xref[i])
+                ml.negate(xQ, out=buf.q[i])
+    with kernel_scope("update_linear_cost_3"):
+        q_all = _stack(buf.q, "q")
+        vnew_all = _stack(buf.vnew, "vnew")
+        g_all = _stack(buf.g, "g")
+        vg = ml.sub(vnew_all, g_all)
+        q_new = ml.sub_scaled(q_all, rho, vg,
+                              out=Mat(np.zeros_like(q_all.data), name="q"))
+        _scatter(q_new, buf.q)
+    with kernel_scope("update_linear_cost_4"):
+        xP = ml.gemv_t(buf.Pinf, buf.Xref[horizon - 1])
+        neg_xP = ml.negate(xP)
+        vg = ml.sub(buf.vnew[horizon - 1], buf.g[horizon - 1])
+        ml.sub_scaled(neg_xP, rho, vg, out=buf.p[horizon - 1])
+
+
+def _traced_residuals(buf: _MatBuffers, horizon: int) -> Dict[str, float]:
+    rho = buf.problem.rho
+    results: Dict[str, float] = {}
+    with kernel_scope("primal_residual_state"):
+        results["primal_residual_state"] = ml.max_abs_diff(
+            _stack(buf.x, "x"), _stack(buf.vnew, "vnew"))
+    with kernel_scope("dual_residual_state"):
+        results["dual_residual_state"] = rho * ml.max_abs_diff(
+            _stack(buf.v, "v"), _stack(buf.vnew, "vnew"))
+    with kernel_scope("primal_residual_input"):
+        results["primal_residual_input"] = ml.max_abs_diff(
+            _stack(buf.u, "u"), _stack(buf.znew, "znew"))
+    with kernel_scope("dual_residual_input"):
+        results["dual_residual_input"] = rho * ml.max_abs_diff(
+            _stack(buf.z, "z"), _stack(buf.znew, "znew"))
+    return results
+
+
+def run_traced_iteration(ws: TinyMPCWorkspace, cache: LQRCache,
+                         write_back: bool = True) -> Dict[str, float]:
+    """Execute one full ADMM iteration through matlib ops.
+
+    The iteration order matches the fast solver.  When a matlib trace is
+    active the operator sequence is recorded; the numerical results are
+    written back to ``ws`` when ``write_back`` is true so tests can compare
+    against :func:`forward_pass` et al.
+    """
+    buf = _MatBuffers(ws, cache)
+    N = ws.horizon
+    _traced_forward_pass(buf, N)
+    _traced_update_slack(buf, N)
+    _traced_update_dual(buf, N)
+    _traced_update_linear_cost(buf, N)
+    residuals = _traced_residuals(buf, N)
+    _traced_backward_pass(buf, N)
+    if write_back:
+        buf.write_back(ws)
+        ws.primal_residual_state = residuals["primal_residual_state"]
+        ws.dual_residual_state = residuals["dual_residual_state"]
+        ws.primal_residual_input = residuals["primal_residual_input"]
+        ws.dual_residual_input = residuals["dual_residual_input"]
+    return residuals
+
+
+def build_iteration_program(problem: MPCProblem, cache: LQRCache = None,
+                            workspace: TinyMPCWorkspace = None,
+                            name: str = "tinympc-iteration") -> ml.MatlibProgram:
+    """Record the matlib program for one ADMM iteration.
+
+    This is the "library-based" (unfused, per-operator) program that the
+    code-generation flow optimizes and the architecture backends time.
+    """
+    from .cache import compute_cache
+
+    if cache is None:
+        cache = compute_cache(problem)
+    if workspace is None:
+        workspace = TinyMPCWorkspace(problem)
+        rng = np.random.default_rng(0)
+        workspace.x[0] = 0.1 * rng.standard_normal(problem.state_dim)
+    with ml.tracing() as trace:
+        run_traced_iteration(workspace, cache, write_back=False)
+    return ml.MatlibProgram(trace, name=name)
+
+
+def kernel_flop_breakdown(problem: MPCProblem, cache: LQRCache = None
+                          ) -> Dict[str, int]:
+    """Per-kernel FLOP counts for one ADMM iteration (paper Figure 1)."""
+    program = build_iteration_program(problem, cache)
+    breakdown = {name: 0 for name in ALL_KERNELS}
+    breakdown.update(program.flops_by_kernel())
+    return breakdown

@@ -1,0 +1,143 @@
+"""Reference solutions used to validate the TinyMPC solver.
+
+Two references are provided:
+
+* :func:`lqr_tracking_solution` — the exact unconstrained finite-horizon
+  LQR tracking solution (time-varying Riccati recursion).  When box bounds
+  are inactive, TinyMPC run to convergence must approach this trajectory.
+* :func:`condensed_qp_solution` — the box-constrained condensed QP over the
+  input sequence, solved with a projected-gradient reference implementation.
+  Used to check constrained solves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from .problem import MPCProblem
+
+__all__ = ["ReferenceSolution", "lqr_tracking_solution", "condensed_qp_solution",
+           "rollout"]
+
+
+@dataclass
+class ReferenceSolution:
+    states: np.ndarray
+    inputs: np.ndarray
+    objective: float
+
+
+def rollout(problem: MPCProblem, x0: np.ndarray, inputs: np.ndarray) -> np.ndarray:
+    """Simulate the linear dynamics forward under an input sequence."""
+    N = problem.horizon
+    states = np.zeros((N, problem.state_dim))
+    states[0] = x0
+    for i in range(N - 1):
+        states[i + 1] = problem.A @ states[i] + problem.B @ inputs[i]
+    return states
+
+
+def _objective(problem: MPCProblem, states: np.ndarray, inputs: np.ndarray,
+               Xref: np.ndarray) -> float:
+    cost = 0.0
+    for i in range(problem.horizon - 1):
+        dx = states[i] - Xref[i]
+        cost += 0.5 * dx @ problem.Q @ dx + 0.5 * inputs[i] @ problem.R @ inputs[i]
+    dxN = states[-1] - Xref[-1]
+    cost += 0.5 * dxN @ problem.Q @ dxN
+    return float(cost)
+
+
+def lqr_tracking_solution(problem: MPCProblem, x0: np.ndarray,
+                          Xref: np.ndarray) -> ReferenceSolution:
+    """Exact unconstrained finite-horizon LQR tracking solution.
+
+    Solves the time-varying Riccati recursion with linear terms so that a
+    non-zero reference is tracked exactly (no constraint handling).
+    """
+    A, B, Q, R = problem.A, problem.B, problem.Q, problem.R
+    N = problem.horizon
+    Xref = np.asarray(Xref, dtype=np.float64)
+    if Xref.ndim == 1:
+        Xref = np.tile(Xref, (N, 1))
+
+    P = Q.copy()
+    p_vec = -(Q @ Xref[-1])
+    K_list = [None] * (N - 1)
+    d_list = [None] * (N - 1)
+    for i in range(N - 2, -1, -1):
+        BtP = B.T @ P
+        H = R + BtP @ B
+        K = np.linalg.solve(H, BtP @ A)
+        d = np.linalg.solve(H, B.T @ p_vec)
+        P_new = Q + A.T @ P @ (A - B @ K)
+        p_new = -(Q @ Xref[i]) + (A - B @ K).T @ p_vec
+        K_list[i], d_list[i] = K, d
+        P, p_vec = 0.5 * (P_new + P_new.T), p_new
+
+    states = np.zeros((N, problem.state_dim))
+    inputs = np.zeros((N - 1, problem.input_dim))
+    states[0] = x0
+    for i in range(N - 1):
+        inputs[i] = -K_list[i] @ states[i] - d_list[i]
+        states[i + 1] = A @ states[i] + B @ inputs[i]
+    return ReferenceSolution(states=states, inputs=inputs,
+                             objective=_objective(problem, states, inputs, Xref))
+
+
+def _condensed_matrices(problem: MPCProblem
+                        ) -> Tuple[np.ndarray, np.ndarray]:
+    """Build the prediction matrices ``X = Phi x0 + Gamma U``."""
+    A, B = problem.A, problem.B
+    n, m, N = problem.state_dim, problem.input_dim, problem.horizon
+    Phi = np.zeros((N * n, n))
+    Gamma = np.zeros((N * n, (N - 1) * m))
+    power = np.eye(n)
+    Phi[:n] = power
+    for i in range(1, N):
+        power = A @ power
+        Phi[i * n:(i + 1) * n] = power
+    for i in range(1, N):
+        for j in range(i):
+            block = np.linalg.matrix_power(A, i - 1 - j) @ B
+            Gamma[i * n:(i + 1) * n, j * m:(j + 1) * m] = block
+    return Phi, Gamma
+
+
+def condensed_qp_solution(problem: MPCProblem, x0: np.ndarray, Xref: np.ndarray,
+                          iterations: int = 4000,
+                          step_scale: float = 1.0) -> ReferenceSolution:
+    """Box-constrained condensed QP reference via projected gradient descent.
+
+    The condensed objective over the stacked input vector ``U`` is
+    ``0.5 U'HU + f'U`` with ``H`` positive definite; projected gradient with a
+    step of ``step_scale / L`` (L = largest eigenvalue of H) converges to the
+    constrained optimum.  Slow but dependable — used only in tests.
+    """
+    n, m, N = problem.state_dim, problem.input_dim, problem.horizon
+    Xref = np.asarray(Xref, dtype=np.float64)
+    if Xref.ndim == 1:
+        Xref = np.tile(Xref, (N, 1))
+    Phi, Gamma = _condensed_matrices(problem)
+    Qbar = np.kron(np.eye(N), problem.Q)
+    Rbar = np.kron(np.eye(N - 1), problem.R)
+    xref_stacked = Xref.reshape(-1)
+    H = Gamma.T @ Qbar @ Gamma + Rbar
+    f = Gamma.T @ Qbar @ (Phi @ x0 - xref_stacked)
+    L = float(np.max(np.linalg.eigvalsh(H)))
+    step = step_scale / L
+
+    lower = np.tile(problem.u_min, N - 1)
+    upper = np.tile(problem.u_max, N - 1)
+    U = np.clip(np.zeros((N - 1) * m), lower, upper)
+    for _ in range(iterations):
+        gradient = H @ U + f
+        U = np.clip(U - step * gradient, lower, upper)
+
+    inputs = U.reshape(N - 1, m)
+    states = rollout(problem, x0, inputs)
+    return ReferenceSolution(states=states, inputs=inputs,
+                             objective=_objective(problem, states, inputs, Xref))

@@ -1,0 +1,158 @@
+"""The TinyMPC ADMM solver.
+
+This is the paper's target workload: an ADMM-based linear MPC solver whose
+per-iteration work is the kernel set in :mod:`repro.tinympc.kernels`.  The
+solver supports warm starting (reusing the previous solution's primal, slack,
+and dual iterates), which is what gives the compounding benefit the paper
+observes when solve latency drops (Section 5.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from .cache import LQRCache, compute_cache
+from .kernels import (
+    backward_pass,
+    compute_residuals,
+    forward_pass,
+    update_dual,
+    update_linear_cost,
+    update_slack,
+)
+from .problem import MPCProblem
+from .workspace import TinyMPCWorkspace
+
+__all__ = ["SolverSettings", "TinyMPCSolution", "TinyMPCSolver"]
+
+
+@dataclass
+class SolverSettings:
+    """Iteration and termination settings (defaults follow TinyMPC)."""
+
+    max_iterations: int = 10
+    abs_primal_tolerance: float = 1e-3
+    abs_dual_tolerance: float = 1e-3
+    check_termination_every: int = 1
+    warm_start: bool = True
+
+    def __post_init__(self) -> None:
+        if self.max_iterations < 1:
+            raise ValueError("max_iterations must be at least 1")
+        if self.check_termination_every < 1:
+            raise ValueError("check_termination_every must be at least 1")
+
+
+@dataclass
+class TinyMPCSolution:
+    """Result of one MPC solve."""
+
+    states: np.ndarray           # (N, n) predicted states
+    inputs: np.ndarray           # (N-1, m) planned inputs
+    iterations: int
+    converged: bool
+    residuals: Dict[str, float]
+    warm_started: bool
+
+    @property
+    def control(self) -> np.ndarray:
+        """The first planned input — the control actually applied."""
+        return self.inputs[0]
+
+    @property
+    def max_residual(self) -> float:
+        return max(self.residuals.values()) if self.residuals else float("inf")
+
+
+class TinyMPCSolver:
+    """ADMM MPC solver with a pre-computed infinite-horizon LQR cache."""
+
+    def __init__(self, problem: MPCProblem,
+                 settings: Optional[SolverSettings] = None,
+                 cache: Optional[LQRCache] = None) -> None:
+        self.problem = problem
+        self.settings = settings or SolverSettings()
+        self.cache = cache or compute_cache(problem)
+        self.workspace = TinyMPCWorkspace(problem)
+        self._has_previous_solution = False
+        self.total_iterations = 0
+        self.total_solves = 0
+
+    # -- public API ---------------------------------------------------------
+    def reset(self) -> None:
+        """Forget any warm-start state."""
+        self.workspace.reset()
+        self._has_previous_solution = False
+
+    def set_reference(self, Xref: np.ndarray, Uref: Optional[np.ndarray] = None) -> None:
+        """Set the tracking reference (a single goal state is broadcast)."""
+        self.workspace.set_reference(Xref, Uref)
+
+    def solve(self, x0: np.ndarray, Xref: Optional[np.ndarray] = None,
+              Uref: Optional[np.ndarray] = None) -> TinyMPCSolution:
+        """Solve the MPC problem from initial state ``x0``.
+
+        When warm starting is enabled the previous solution's trajectories,
+        slack, and dual variables are reused, which typically cuts the
+        iteration count substantially once the reference changes slowly.
+        """
+        ws = self.workspace
+        settings = self.settings
+        if Xref is not None:
+            self.set_reference(Xref, Uref)
+        warm = settings.warm_start and self._has_previous_solution
+        if not warm:
+            ws.reset_duals()
+            ws.d.fill(0.0)
+            ws.p.fill(0.0)
+            ws.q.fill(0.0)
+            ws.r.fill(0.0)
+        ws.set_initial_state(x0)
+
+        iterations = 0
+        converged = False
+        for iteration in range(1, settings.max_iterations + 1):
+            iterations = iteration
+            forward_pass(ws, self.cache)
+            update_slack(ws)
+            update_dual(ws)
+            update_linear_cost(ws, self.cache)
+            if iteration % settings.check_termination_every == 0:
+                compute_residuals(ws)
+                converged = self._is_converged()
+            # Keep previous slack iterates for the next dual residual.
+            ws.v[...] = ws.vnew
+            ws.z[...] = ws.znew
+            if converged:
+                break
+            backward_pass(ws, self.cache)
+
+        self._has_previous_solution = True
+        self.total_iterations += iterations
+        self.total_solves += 1
+        return TinyMPCSolution(
+            states=ws.x.copy(),
+            inputs=np.clip(ws.u, self.problem.u_min, self.problem.u_max),
+            iterations=iterations,
+            converged=converged,
+            residuals=ws.residuals(),
+            warm_started=warm,
+        )
+
+    # -- diagnostics ----------------------------------------------------------
+    @property
+    def average_iterations(self) -> float:
+        if self.total_solves == 0:
+            return 0.0
+        return self.total_iterations / self.total_solves
+
+    def _is_converged(self) -> bool:
+        ws = self.workspace
+        settings = self.settings
+        return (ws.primal_residual_state < settings.abs_primal_tolerance
+                and ws.primal_residual_input < settings.abs_primal_tolerance
+                and ws.dual_residual_state < settings.abs_dual_tolerance
+                and ws.dual_residual_input < settings.abs_dual_tolerance)

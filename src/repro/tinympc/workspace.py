@@ -1,0 +1,149 @@
+"""Solver workspace for TinyMPC.
+
+The workspace holds every array the ADMM iterations touch.  Its layout
+mirrors the TinyMPC C implementation (state-major arrays over the horizon)
+and it is also the thing the Gemmini mapping pins into the scratchpad
+(paper Figure 8), so the buffer names here are reused by the residency
+planner in :mod:`repro.codegen`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+import numpy as np
+
+from .problem import MPCProblem
+
+__all__ = ["TinyMPCWorkspace"]
+
+
+@dataclass
+class TinyMPCWorkspace:
+    """All mutable solver state for one TinyMPC instance.
+
+    Horizon-indexed arrays are stored with the knot-point index first:
+    states are ``(N, n)`` and inputs ``(N-1, m)``.
+    """
+
+    problem: MPCProblem
+
+    # primal trajectories
+    x: np.ndarray = field(init=False)
+    u: np.ndarray = field(init=False)
+    # linear cost terms
+    q: np.ndarray = field(init=False)
+    r: np.ndarray = field(init=False)
+    p: np.ndarray = field(init=False)
+    d: np.ndarray = field(init=False)
+    # slack variables
+    v: np.ndarray = field(init=False)
+    vnew: np.ndarray = field(init=False)
+    z: np.ndarray = field(init=False)
+    znew: np.ndarray = field(init=False)
+    # dual variables
+    g: np.ndarray = field(init=False)
+    y: np.ndarray = field(init=False)
+    # references
+    Xref: np.ndarray = field(init=False)
+    Uref: np.ndarray = field(init=False)
+    # residuals
+    primal_residual_state: float = field(init=False, default=np.inf)
+    dual_residual_state: float = field(init=False, default=np.inf)
+    primal_residual_input: float = field(init=False, default=np.inf)
+    dual_residual_input: float = field(init=False, default=np.inf)
+
+    def __post_init__(self) -> None:
+        n = self.problem.state_dim
+        m = self.problem.input_dim
+        N = self.problem.horizon
+        self.x = np.zeros((N, n))
+        self.u = np.zeros((N - 1, m))
+        self.q = np.zeros((N, n))
+        self.r = np.zeros((N - 1, m))
+        self.p = np.zeros((N, n))
+        self.d = np.zeros((N - 1, m))
+        self.v = np.zeros((N, n))
+        self.vnew = np.zeros((N, n))
+        self.z = np.zeros((N - 1, m))
+        self.znew = np.zeros((N - 1, m))
+        self.g = np.zeros((N, n))
+        self.y = np.zeros((N - 1, m))
+        self.Xref = np.zeros((N, n))
+        self.Uref = np.zeros((N - 1, m))
+
+    # -- dimensions ----------------------------------------------------------
+    @property
+    def state_dim(self) -> int:
+        return self.problem.state_dim
+
+    @property
+    def input_dim(self) -> int:
+        return self.problem.input_dim
+
+    @property
+    def horizon(self) -> int:
+        return self.problem.horizon
+
+    # -- lifecycle ------------------------------------------------------------
+    def reset(self) -> None:
+        """Zero all trajectories, slacks, duals, and references."""
+        for name in ("x", "u", "q", "r", "p", "d", "v", "vnew", "z", "znew",
+                     "g", "y", "Xref", "Uref"):
+            getattr(self, name).fill(0.0)
+        self.primal_residual_state = np.inf
+        self.dual_residual_state = np.inf
+        self.primal_residual_input = np.inf
+        self.dual_residual_input = np.inf
+
+    def reset_duals(self) -> None:
+        """Zero only the dual/slack state (used on cold starts)."""
+        for name in ("v", "vnew", "z", "znew", "g", "y"):
+            getattr(self, name).fill(0.0)
+
+    def set_initial_state(self, x0: np.ndarray) -> None:
+        x0 = np.asarray(x0, dtype=np.float64)
+        if x0.shape != (self.state_dim,):
+            raise ValueError("x0 must have shape ({},)".format(self.state_dim))
+        self.x[0] = x0
+
+    def set_reference(self, Xref: np.ndarray, Uref: np.ndarray = None) -> None:
+        """Set the tracking reference; a single state is broadcast over N."""
+        Xref = np.asarray(Xref, dtype=np.float64)
+        if Xref.ndim == 1:
+            Xref = np.tile(Xref, (self.horizon, 1))
+        if Xref.shape != (self.horizon, self.state_dim):
+            raise ValueError("Xref must have shape ({}, {})".format(
+                self.horizon, self.state_dim))
+        self.Xref[...] = Xref
+        if Uref is not None:
+            Uref = np.asarray(Uref, dtype=np.float64)
+            if Uref.ndim == 1:
+                Uref = np.tile(Uref, (self.horizon - 1, 1))
+            self.Uref[...] = Uref
+
+    # -- residual bookkeeping ---------------------------------------------------
+    @property
+    def max_residual(self) -> float:
+        return max(self.primal_residual_state, self.dual_residual_state,
+                   self.primal_residual_input, self.dual_residual_input)
+
+    def residuals(self) -> Dict[str, float]:
+        return {
+            "primal_residual_state": self.primal_residual_state,
+            "dual_residual_state": self.dual_residual_state,
+            "primal_residual_input": self.primal_residual_input,
+            "dual_residual_input": self.dual_residual_input,
+        }
+
+    # -- snapshots (for tests/benchmarks) -----------------------------------------
+    def snapshot(self) -> Dict[str, np.ndarray]:
+        """Deep copy of every array, keyed by buffer name."""
+        return {name: getattr(self, name).copy()
+                for name in ("x", "u", "q", "r", "p", "d", "v", "vnew", "z",
+                             "znew", "g", "y", "Xref", "Uref")}
+
+    def load_snapshot(self, snapshot: Dict[str, np.ndarray]) -> None:
+        for name, value in snapshot.items():
+            getattr(self, name)[...] = value

@@ -1,0 +1,133 @@
+"""Tests for the area model, the power model, and the design-point registry."""
+
+import pytest
+
+from repro.arch import (
+    ALL_DESIGN_POINTS,
+    CYGNUS_VECTOR_CORE,
+    GEMMINI_CONFIGS,
+    ROCKET,
+    SATURN_CONFIGS,
+    SCALAR_CONFIGS,
+    SHUTTLE,
+    SMALL_BOOM,
+    SoCPowerModel,
+    design_point_area,
+    gemmini_area,
+    get_design_point,
+    list_design_points,
+    make_backend,
+    scalar_core_area,
+    sram_area,
+    vector_unit_area,
+)
+
+
+class TestAreaModel:
+    def test_rocket_is_small(self):
+        assert scalar_core_area(ROCKET) < 1.0
+
+    def test_out_of_order_costs_area(self):
+        assert scalar_core_area(SMALL_BOOM) > scalar_core_area(SHUTTLE)
+
+    def test_vector_units_larger_than_scalar_cores(self):
+        for config in SATURN_CONFIGS.values():
+            assert vector_unit_area(config) > scalar_core_area(config.frontend)
+
+    def test_wider_datapath_costs_area(self):
+        d128 = SATURN_CONFIGS["saturn-v512-d128-rocket"]
+        d256 = SATURN_CONFIGS["saturn-v512-d256-rocket"]
+        assert vector_unit_area(d256) > vector_unit_area(d128)
+
+    def test_gemmini_in_paper_window(self):
+        """Gemmini design points land in the 1.5-2.3 mm^2 window of Fig. 10."""
+        for key in ("gemmini-4x4-os-64k-rocket", "gemmini-4x4-os-32k-rocket"):
+            area = gemmini_area(GEMMINI_CONFIGS[key])
+            assert 1.4 < area < 2.4
+
+    def test_saturn_above_gemmini_window(self):
+        for config in SATURN_CONFIGS.values():
+            assert vector_unit_area(config) > 2.3
+
+    def test_sram_area_monotone(self):
+        assert sram_area(64) > sram_area(32) > 0.0
+        assert sram_area(0) == 0.0
+
+    def test_dispatcher_matches_specific_estimators(self):
+        assert design_point_area(ROCKET) == scalar_core_area(ROCKET)
+        saturn = SATURN_CONFIGS["saturn-v512-d256-rocket"]
+        assert design_point_area(saturn) == vector_unit_area(saturn)
+
+    def test_dispatcher_rejects_unknown(self):
+        with pytest.raises(TypeError):
+            design_point_area(object())
+
+
+class TestPowerModel:
+    def test_power_increases_with_frequency(self):
+        model = SoCPowerModel()
+        assert model.power(500, 2.0) > model.power(100, 2.0)
+
+    def test_power_increases_with_area(self):
+        model = SoCPowerModel()
+        assert model.power(100, 4.0) > model.power(100, 1.0)
+
+    def test_activity_scaling(self):
+        model = SoCPowerModel()
+        busy = model.power(100, 2.0, activity=1.0)
+        idle = model.power(100, 2.0, activity=0.0)
+        assert idle < busy
+        assert idle > model.leakage_w
+
+    def test_compute_power_is_small_relative_to_actuation(self):
+        """Figure 16c: SoC power is a few percent of a ~2-3 W drone budget."""
+        model = SoCPowerModel()
+        power = model.power(100, CYGNUS_VECTOR_CORE and 3.9, activity=0.1)
+        assert power < 0.3
+
+    def test_voltage_scaling_kicks_in_at_high_frequency(self):
+        model = SoCPowerModel()
+        low = model.power(200, 2.0) / 200
+        high = model.power(600, 2.0) / 600
+        assert high > low
+
+    def test_energy_per_solve(self):
+        model = SoCPowerModel()
+        energy = model.energy_per_solve(100, 2.0, solve_cycles=1e5)
+        assert energy > 0
+        with pytest.raises(ValueError):
+            model.energy_per_solve(0, 2.0, 1e5)
+
+    def test_negative_frequency_rejected(self):
+        with pytest.raises(ValueError):
+            SoCPowerModel().power(-1, 1.0)
+
+
+class TestDesignPointRegistry:
+    def test_registry_covers_all_categories(self):
+        categories = {point.category for point in list_design_points()}
+        assert categories == {"scalar", "vector", "systolic"}
+
+    def test_counts(self):
+        assert len(list_design_points("scalar")) == len(SCALAR_CONFIGS)
+        assert len(list_design_points("vector")) == len(SATURN_CONFIGS)
+        assert len(list_design_points("systolic")) == len(GEMMINI_CONFIGS)
+        assert len(ALL_DESIGN_POINTS) == (len(SCALAR_CONFIGS) + len(SATURN_CONFIGS)
+                                          + len(GEMMINI_CONFIGS))
+
+    @pytest.mark.parametrize("name", sorted(ALL_DESIGN_POINTS))
+    def test_every_point_builds_a_backend(self, name):
+        point = get_design_point(name)
+        backend = make_backend(name)
+        assert backend.peak_flops_per_cycle > 0
+        assert point.area_mm2 > 0
+
+    def test_unknown_point_raises(self):
+        with pytest.raises(KeyError):
+            get_design_point("not-a-design")
+
+    def test_cygnus_matches_paper_description(self):
+        """Cygnus: dual-issue Shuttle frontend, VLEN=512, DLEN=256 (Sec. 5.2)."""
+        assert CYGNUS_VECTOR_CORE.vlen == 512
+        assert CYGNUS_VECTOR_CORE.dlen == 256
+        assert CYGNUS_VECTOR_CORE.frontend.decode_width == 2

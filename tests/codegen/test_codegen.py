@@ -1,0 +1,214 @@
+"""Tests for the code-generation flow: passes, lowering, and compile-and-time."""
+
+import numpy as np
+import pytest
+
+from repro.arch import GemminiOpcode, VectorOpcode, get_design_point
+from repro.codegen import (
+    CodegenFlow,
+    GemminiLoweringOptions,
+    OPTIMIZATION_LEVELS,
+    ScalarLoweringOptions,
+    VectorLoweringOptions,
+    count_redundant_configs,
+    fuse_elementwise,
+    lower_gemmini,
+    lower_scalar,
+    lower_vector,
+    plan_scratchpad_residency,
+)
+from repro.matlib import OpKind
+from repro.tinympc import build_iteration_program, default_quadrotor_problem
+
+
+@pytest.fixture(scope="module")
+def program():
+    return build_iteration_program(default_quadrotor_problem())
+
+
+@pytest.fixture(scope="module")
+def flow():
+    return CodegenFlow()
+
+
+class TestFusionPass:
+    def test_fusion_reduces_op_count(self, program):
+        report = fuse_elementwise(program)
+        assert report.ops_after < report.ops_before
+        assert report.ops_removed == report.ops_before - report.ops_after
+        assert report.bytes_saved >= 0
+
+    def test_fusion_preserves_flops(self, program):
+        report = fuse_elementwise(program)
+        assert report.program.total_flops == program.total_flops
+
+    def test_fusion_preserves_kernel_tags(self, program):
+        report = fuse_elementwise(program)
+        assert set(report.program.kernels()) == set(program.kernels())
+
+    def test_fused_records_are_marked(self, program):
+        report = fuse_elementwise(program)
+        fused = [op for op in report.program if op.fused_from]
+        assert len(fused) == len(report.fused_groups)
+
+
+class TestScratchpadPlanning:
+    def test_solver_matrices_resident(self, program):
+        plan = plan_scratchpad_residency(program, scratchpad_kb=64)
+        for name in ("Adyn", "Bdyn", "Kinf", "Pinf", "Quu_inv", "AmBKt"):
+            assert plan.is_resident(name), name
+        assert plan.fits
+        assert 0.0 < plan.occupancy <= 1.0
+
+    def test_utility_identities_allocated(self, program):
+        plan = plan_scratchpad_residency(program, scratchpad_kb=64)
+        assert "identity" in plan.utility_buffers
+
+    def test_tiny_scratchpad_spills(self, program):
+        plan = plan_scratchpad_residency(program, scratchpad_kb=1)
+        assert plan.spilled_buffers
+
+    def test_row_assignments_do_not_overlap(self, program):
+        plan = plan_scratchpad_residency(program, scratchpad_kb=64)
+        spans = sorted(plan.row_assignments.values())
+        for (start_a, rows_a), (start_b, _) in zip(spans, spans[1:]):
+            assert start_a + rows_a <= start_b
+
+    def test_redundant_config_counter(self, program):
+        assert count_redundant_configs(program) >= 0
+
+
+class TestScalarLowering:
+    def test_library_has_call_overhead(self, program):
+        stream = lower_scalar(program, ScalarLoweringOptions(style="library"))
+        assert all(work.op_calls == 1 for work in stream)
+
+    def test_eigen_inlines_calls(self, program):
+        stream = lower_scalar(program, ScalarLoweringOptions(style="eigen"))
+        assert all(work.op_calls == 0 for work in stream)
+
+    def test_invalid_style_rejected(self):
+        with pytest.raises(ValueError):
+            ScalarLoweringOptions(style="banana")
+
+    def test_kernel_tags_preserved(self, program):
+        stream = lower_scalar(program)
+        assert set(stream.kernels()) == set(program.kernels())
+
+
+class TestVectorLowering:
+    def test_library_emits_loads_and_stores(self, program):
+        stream = lower_vector(program, VectorLoweringOptions.library())
+        assert stream.count_opcode(VectorOpcode.VLOAD) > 0
+        assert stream.count_opcode(VectorOpcode.VSTORE) > 0
+
+    def test_fusion_removes_stores(self, program):
+        library = lower_vector(program, VectorLoweringOptions.library())
+        fused = lower_vector(fuse_elementwise(program).program,
+                             VectorLoweringOptions.fused())
+        assert fused.count_opcode(VectorOpcode.VSTORE) < library.count_opcode(
+            VectorOpcode.VSTORE)
+        assert len(fused) < len(library)
+
+    def test_lmul_reduces_elementwise_instruction_count(self):
+        problem = default_quadrotor_problem(horizon=25)
+        program = build_iteration_program(problem)
+        lmul1 = lower_vector(program, VectorLoweringOptions.library(lmul=1))
+        lmul8 = lower_vector(program, VectorLoweringOptions.library(lmul=8))
+        count1 = sum(1 for i in lmul1 if i.opcode is VectorOpcode.VARITH)
+        count8 = sum(1 for i in lmul8 if i.opcode is VectorOpcode.VARITH)
+        assert count8 < count1
+
+    def test_invalid_lmul_rejected(self):
+        with pytest.raises(ValueError):
+            VectorLoweringOptions(lmul=3)
+
+    def test_unrolled_reduces_scalar_bookkeeping(self, program):
+        library = lower_vector(program, VectorLoweringOptions.library())
+        unrolled = lower_vector(program, VectorLoweringOptions.unrolled())
+        scalar_lib = sum(i.elements for i in library if i.opcode is VectorOpcode.SCALAR)
+        scalar_unr = sum(i.elements for i in unrolled if i.opcode is VectorOpcode.SCALAR)
+        assert scalar_unr < scalar_lib
+
+
+class TestGemminiLowering:
+    def test_library_stages_through_dram_with_fences(self, program):
+        stream = lower_gemmini(program, GemminiLoweringOptions.library())
+        assert stream.count_opcode(GemminiOpcode.FENCE) > 0
+        dram_moves = sum(1 for i in stream
+                         if i.opcode in (GemminiOpcode.MVIN, GemminiOpcode.MVOUT)
+                         and i.dram)
+        assert dram_moves > 0
+
+    def test_scratchpad_mode_eliminates_dram_traffic(self, program):
+        stream = lower_gemmini(program, GemminiLoweringOptions.scratchpad())
+        dram_moves = sum(1 for i in stream
+                         if i.opcode in (GemminiOpcode.MVIN, GemminiOpcode.MVOUT)
+                         and i.dram)
+        assert dram_moves == 0
+
+    def test_optimized_uses_activation_instead_of_cpu_fallback(self, program):
+        baseline = lower_gemmini(program, GemminiLoweringOptions.scratchpad())
+        optimized = lower_gemmini(program, GemminiLoweringOptions.optimized())
+        assert (optimized.count_opcode(GemminiOpcode.CPU_OP)
+                < baseline.count_opcode(GemminiOpcode.CPU_OP))
+
+    def test_larger_sync_granularity_fewer_fences(self, program):
+        fine = lower_gemmini(program, GemminiLoweringOptions(
+            scratchpad_resident=True, use_activation_engine=True, use_pooling=True,
+            sync_granularity=1))
+        coarse = lower_gemmini(program, GemminiLoweringOptions(
+            scratchpad_resident=True, use_activation_engine=True, use_pooling=True,
+            sync_granularity=16))
+        assert coarse.count_opcode(GemminiOpcode.FENCE) < fine.count_opcode(
+            GemminiOpcode.FENCE)
+
+    def test_redundant_config_elimination(self, program):
+        with_configs = lower_gemmini(program, GemminiLoweringOptions(
+            static_mapping=True, eliminate_redundant_config=False))
+        without = lower_gemmini(program, GemminiLoweringOptions(
+            static_mapping=True, eliminate_redundant_config=True))
+        assert without.count_opcode(GemminiOpcode.CONFIG) <= with_configs.count_opcode(
+            GemminiOpcode.CONFIG)
+
+    def test_invalid_options_rejected(self):
+        with pytest.raises(ValueError):
+            GemminiLoweringOptions(sync_granularity=0)
+
+
+class TestCodegenFlow:
+    def test_invalid_level_rejected(self, program, flow):
+        with pytest.raises(ValueError):
+            flow.compile(program, "rocket", "fused")
+
+    @pytest.mark.parametrize("design_point,category", [
+        ("rocket", "scalar"),
+        ("saturn-v512-d256-rocket", "vector"),
+        ("gemmini-4x4-os-64k-rocket", "systolic"),
+    ])
+    def test_every_level_compiles_and_times(self, program, flow, design_point, category):
+        for level in OPTIMIZATION_LEVELS[category]:
+            result = flow.compile(program, design_point, level)
+            assert result.cycles > 0
+            assert result.report.instruction_count == len(result.stream)
+
+    def test_optimizations_never_hurt_on_vector(self, program, flow):
+        library = flow.compile(program, "saturn-v512-d256-rocket", "library")
+        unrolled = flow.compile(program, "saturn-v512-d256-rocket", "unrolled")
+        fused = flow.compile(program, "saturn-v512-d256-rocket", "fused")
+        assert fused.cycles < unrolled.cycles < library.cycles
+
+    def test_optimizations_never_hurt_on_gemmini(self, program, flow):
+        levels = ["library", "static", "scratchpad", "elementwise", "optimized"]
+        cycles = [flow.compile(program, "gemmini-4x4-os-64k-rocket", level).cycles
+                  for level in levels]
+        assert all(later <= earlier for earlier, later in zip(cycles, cycles[1:]))
+
+    def test_best_level_picks_minimum(self, program, flow):
+        best = flow.best_level(program, "saturn-v512-d256-rocket")
+        assert best.level == "fused"
+
+    def test_speedup_over_baseline(self, program, flow):
+        library = flow.compile(program, "saturn-v512-d256-rocket", "library")
+        fused = flow.compile(program, "saturn-v512-d256-rocket", "fused")
+        assert fused.speedup_over(library) > 1.0

@@ -1,0 +1,302 @@
+"""Tests for the drone substrate: variants, dynamics, linearization, power,
+scenarios, and disturbances."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.drone import (
+    AIR_DENSITY,
+    DIFFICULTY_SPECS,
+    Difficulty,
+    Disturbance,
+    DisturbanceCategory,
+    DisturbanceType,
+    GRAVITY,
+    Quadrotor,
+    all_variants,
+    analyze_recovery,
+    crazyflie,
+    generate_scenario,
+    generate_scenario_set,
+    hawk,
+    heron,
+    hover_input,
+    hover_power,
+    hover_state,
+    induced_power,
+    linearize_hover,
+    rotor_power,
+    scenario_overview_table,
+    standard_disturbance_suite,
+    total_actuation_power,
+)
+
+
+class TestVariants:
+    def test_table1_values(self):
+        """The Table 1 parameters are reproduced exactly."""
+        cf, hw, hr = crazyflie(), hawk(), heron()
+        assert (cf.mass, hw.mass, hr.mass) == (0.027, 0.046, 0.035)
+        assert (cf.propeller_diameter, hw.propeller_diameter, hr.propeller_diameter) == \
+            (0.045, 0.060, 0.090)
+        assert (cf.arm_length, hw.arm_length, hr.arm_length) == (0.080, 0.080, 0.160)
+        assert (cf.motor_kv, hw.motor_kv, hr.motor_kv) == (14000.0, 28000.0, 14000.0)
+        assert (cf.battery_cells, hw.battery_cells, hr.battery_cells) == (1, 2, 2)
+
+    def test_all_variants_registry(self):
+        variants = all_variants()
+        assert set(variants) == {"CrazyFlie", "Hawk", "Heron"}
+
+    def test_hover_thrust_balances_weight(self):
+        for params in all_variants().values():
+            assert params.hover_thrust_total() == pytest.approx(params.mass * GRAVITY)
+            assert params.max_thrust_total() > params.hover_thrust_total()
+
+    def test_crazyflie_inertia_plausible(self):
+        inertia = crazyflie().inertia
+        assert 0.5e-5 < inertia[0] < 5e-5
+        assert inertia[2] > inertia[0]
+
+    def test_mixing_matrix_shape_and_rank(self):
+        for params in all_variants().values():
+            mix = params.mixing_matrix()
+            assert mix.shape == (4, 4)
+            assert np.linalg.matrix_rank(mix) == 4
+
+    def test_summary_contains_table_columns(self):
+        summary = crazyflie().summary()
+        for key in ("mass_g", "propeller_diameter_mm", "arm_length_mm",
+                    "motor_kv", "battery_cells"):
+            assert key in summary
+
+
+class TestQuadrotorDynamics:
+    def test_hover_is_equilibrium(self):
+        plant = Quadrotor(crazyflie(), dt=0.002)
+        plant.reset(hover_state([0.0, 0.0, 1.0]))
+        for _ in range(500):
+            plant.step(hover_input(crazyflie()))
+        assert np.linalg.norm(plant.position - np.array([0.0, 0.0, 1.0])) < 0.02
+        assert np.linalg.norm(plant.velocity) < 0.02
+
+    def test_gravity_without_thrust(self):
+        plant = Quadrotor(crazyflie(), dt=0.002, rotor_dynamics=False)
+        plant.reset(hover_state([0.0, 0.0, 5.0]))
+        for _ in range(100):
+            plant.step(np.zeros(4))
+        assert plant.position[2] < 5.0
+        assert plant.velocity[2] < 0.0
+
+    def test_asymmetric_thrust_induces_rotation(self):
+        params = crazyflie()
+        plant = Quadrotor(params, dt=0.002, rotor_dynamics=False)
+        plant.reset(hover_state([0.0, 0.0, 1.0]))
+        thrust = hover_input(params)
+        thrust[0] *= 1.3
+        thrust[2] *= 0.7
+        for _ in range(50):
+            plant.step(thrust)
+        assert np.linalg.norm(plant.state[9:12]) > 1e-3
+
+    def test_thrust_clipping(self):
+        params = crazyflie()
+        plant = Quadrotor(params, dt=0.002)
+        plant.step(np.full(4, 100.0))
+        assert np.all(plant.rotor_thrusts <= params.max_thrust_per_rotor() + 1e-12)
+
+    def test_crash_detection(self):
+        plant = Quadrotor(crazyflie(), dt=0.002)
+        state = hover_state()
+        state[2] = -1.0
+        plant.reset(state)
+        assert plant.has_crashed()
+        plant.reset(hover_state([0, 0, 1.0]))
+        assert not plant.has_crashed()
+
+    def test_external_force_pushes_drone(self):
+        plant = Quadrotor(crazyflie(), dt=0.002, rotor_dynamics=False)
+        plant.reset(hover_state([0.0, 0.0, 1.0]))
+        plant.set_disturbance(force=np.array([0.05, 0.0, 0.0]))
+        for _ in range(100):
+            plant.step(hover_input(crazyflie()))
+        assert plant.position[0] > 0.005
+        plant.clear_disturbance()
+
+
+class TestLinearization:
+    @pytest.mark.parametrize("variant", [crazyflie, hawk, heron])
+    def test_discrete_model_dimensions(self, variant):
+        A, B = linearize_hover(variant(), dt=0.01)
+        assert A.shape == (12, 12)
+        assert B.shape == (12, 4)
+
+    def test_linear_model_predicts_nonlinear_near_hover(self):
+        params = crazyflie()
+        dt = 0.01
+        A, B = linearize_hover(params, dt=dt)
+        plant = Quadrotor(params, dt=dt, rotor_dynamics=False)
+        rng = np.random.default_rng(0)
+        x0 = hover_state([0.0, 0.0, 1.0]) + 0.01 * rng.standard_normal(12)
+        du = 1e-3 * rng.standard_normal(4)
+        plant.reset(x0)
+        plant.step(hover_input(params) + du)
+        nonlinear_next = plant.state
+        linear_next = A @ (x0 - hover_state([0, 0, 1.0])) + B @ du + hover_state([0, 0, 1.0])
+        np.testing.assert_allclose(nonlinear_next, linear_next, atol=2e-3)
+
+    def test_zoh_reduces_to_identity_at_zero_dt(self):
+        A, B = linearize_hover(crazyflie(), dt=1e-9)
+        np.testing.assert_allclose(A, np.eye(12), atol=1e-6)
+        # The body-rate rows of B have large continuous-time gains (torque /
+        # tiny inertia), so the discrete B only vanishes to ~1e-5 at dt=1e-9.
+        np.testing.assert_allclose(B, np.zeros((12, 4)), atol=1e-4)
+
+    def test_invalid_dt_rejected(self):
+        with pytest.raises(ValueError):
+            linearize_hover(crazyflie(), dt=0.0)
+
+
+class TestRotorPower:
+    def test_momentum_theory_equation(self):
+        """P = T^1.5 / sqrt(2 rho A) — the paper's Equation 4."""
+        params = crazyflie()
+        thrust = 0.1
+        expected = thrust ** 1.5 / np.sqrt(2 * AIR_DENSITY * params.rotor_disk_area)
+        assert induced_power(thrust, params.rotor_disk_area) == pytest.approx(expected)
+
+    def test_zero_thrust_zero_power(self):
+        assert induced_power(0.0, crazyflie().rotor_disk_area) == 0.0
+
+    def test_larger_props_hover_more_efficiently(self):
+        """Heron's large slow rotors should hover on less power per Newton."""
+        assert (hover_power(heron()) / heron().mass
+                < hover_power(hawk()) / hawk().mass)
+
+    def test_total_power_sums_rotors(self):
+        params = crazyflie()
+        thrusts = [0.06, 0.06, 0.07, 0.07]
+        assert total_actuation_power(thrusts, params) == pytest.approx(
+            sum(rotor_power(t, params) for t in thrusts))
+
+    def test_power_superlinear_in_thrust(self):
+        params = crazyflie()
+        assert rotor_power(0.2, params) > 2 * rotor_power(0.1, params)
+
+    def test_invalid_efficiency_rejected(self):
+        with pytest.raises(ValueError):
+            rotor_power(0.1, crazyflie(), electrical_efficiency=0.0)
+
+
+class TestScenarios:
+    def test_figure15_difficulty_parameters(self):
+        table = {row["difficulty"]: row for row in scenario_overview_table()}
+        assert table["easy"]["waypoint_count"] == 5
+        assert table["medium"]["waypoint_count"] == 7
+        assert table["hard"]["waypoint_count"] == 10
+        assert table["easy"]["time_between_waypoints_s"] == 0.5
+        assert table["hard"]["average_waypoint_distance_m"] == 1.1
+
+    @pytest.mark.parametrize("difficulty", list(Difficulty))
+    def test_scenario_structure(self, difficulty):
+        scenario = generate_scenario(difficulty, seed=1)
+        spec = DIFFICULTY_SPECS[difficulty]
+        assert len(scenario.waypoints) == spec.waypoint_count
+        times = [w.activation_time for w in scenario.waypoints]
+        assert times == sorted(times)
+        assert scenario.duration > times[-1]
+
+    def test_scenarios_reproducible_and_unique(self):
+        a = generate_scenario(Difficulty.MEDIUM, seed=7)
+        b = generate_scenario(Difficulty.MEDIUM, seed=7)
+        c = generate_scenario(Difficulty.MEDIUM, seed=8)
+        assert a.waypoints == b.waypoints
+        assert a.waypoints != c.waypoints
+
+    def test_leg_distance_tracks_difficulty(self):
+        easy = np.mean([generate_scenario(Difficulty.EASY, s).average_leg_distance()
+                        for s in range(10)])
+        hard = np.mean([generate_scenario(Difficulty.HARD, s).average_leg_distance()
+                        for s in range(10)])
+        assert hard > easy
+
+    def test_scenario_set_size(self):
+        assert len(generate_scenario_set(Difficulty.EASY, count=20)) == 20
+        with pytest.raises(ValueError):
+            generate_scenario_set(Difficulty.EASY, count=0)
+
+    def test_active_waypoint_progression(self):
+        scenario = generate_scenario(Difficulty.EASY, seed=0)
+        first = scenario.active_waypoint(0.0)
+        last = scenario.active_waypoint(1e9)
+        assert first == scenario.waypoints[0]
+        assert last == scenario.final_waypoint
+
+    def test_altitude_stays_in_band(self):
+        for seed in range(5):
+            scenario = generate_scenario(Difficulty.HARD, seed=seed)
+            for waypoint in scenario.waypoints:
+                assert 0.3 <= waypoint.position[2] <= 1.6
+
+
+class TestDisturbances:
+    def test_suite_covers_categories_and_types(self):
+        suite = standard_disturbance_suite()
+        categories = {d.category for d in suite}
+        kinds = {d.kind for d in suite}
+        assert categories == set(DisturbanceCategory)
+        assert kinds == set(DisturbanceType)
+
+    def test_step_wrench_active_only_in_window(self):
+        d = Disturbance(DisturbanceCategory.FORCE, DisturbanceType.STEP,
+                        (1, 0, 0), 0.1, start_time=0.5, duration=0.1)
+        force, _ = d.wrench_at(0.55, 0.002)
+        assert force[0] == pytest.approx(0.1)
+        force, _ = d.wrench_at(0.7, 0.002)
+        assert np.all(force == 0.0)
+
+    def test_impulse_preserves_total_impulse(self):
+        d = Disturbance(DisturbanceCategory.FORCE, DisturbanceType.IMPULSE,
+                        (1, 0, 0), 0.1, start_time=0.5, duration=0.1)
+        dt = 0.002
+        impulse = sum(d.wrench_at(t, dt)[0][0] * dt
+                      for t in np.arange(0.0, 1.0, dt))
+        assert impulse == pytest.approx(0.1 * 0.1, rel=1e-6)
+
+    def test_torque_category_produces_torque_only(self):
+        d = Disturbance(DisturbanceCategory.TORQUE, DisturbanceType.STEP,
+                        (0, 0, 1), 0.01, start_time=0.0)
+        force, torque = d.wrench_at(0.05, 0.002)
+        assert np.all(force == 0.0)
+        assert torque[2] == pytest.approx(0.01)
+
+    def test_zero_direction_rejected(self):
+        d = Disturbance(DisturbanceCategory.FORCE, DisturbanceType.STEP,
+                        (0, 0, 0), 0.1)
+        with pytest.raises(ValueError):
+            d.wrench_at(0.6, 0.002)
+
+    def test_recovery_analysis_detects_recovery(self):
+        times = np.arange(0.0, 2.0, 0.01)
+        positions = np.zeros((len(times), 3))
+        positions[:50, 0] = 0.3          # displaced for 0.5 s
+        result = analyze_recovery(times, positions, [0, 0, 0], disturbance_end=0.2)
+        assert result.recovered
+        assert result.time_to_recovery == pytest.approx(0.3, abs=0.02)
+        assert result.max_deviation == pytest.approx(0.3)
+
+    def test_recovery_analysis_detects_failure(self):
+        times = np.arange(0.0, 1.0, 0.01)
+        positions = np.full((len(times), 3), 0.5)
+        result = analyze_recovery(times, positions, [0, 0, 0], disturbance_end=0.2)
+        assert not result.recovered
+        assert result.time_to_recovery is None
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.floats(0.01, 0.5))
+def test_induced_power_monotone(thrust):
+    params = crazyflie()
+    assert induced_power(thrust + 0.01, params.rotor_disk_area) > induced_power(
+        thrust, params.rotor_disk_area)

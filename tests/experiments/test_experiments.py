@@ -1,0 +1,146 @@
+"""Tests for the experiment registry and the fast (non-HIL) experiment drivers."""
+
+import pytest
+
+from repro.experiments import (
+    EXPERIMENTS,
+    fig1_flop_breakdown,
+    fig3_library_vs_optimized,
+    fig4_lmul_sweep,
+    fig5_operator_fusion,
+    fig9_sync_granularity,
+    fig10_pareto,
+    fig12_engine_ablation,
+    format_rows,
+    headline_speedups,
+    list_experiments,
+    pareto_frontier,
+    run_experiment,
+    sec43_codegen_cycles,
+    sec53_concurrent_tasks,
+    table1_variants,
+)
+
+
+class TestRegistry:
+    def test_every_paper_artifact_registered(self):
+        expected = {"fig1", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
+                    "fig10", "fig11", "fig12", "fig13", "table1", "fig15", "fig16",
+                    "fig17", "fig18", "sec43", "sec53", "headline"}
+        assert set(EXPERIMENTS) == expected
+
+    def test_unknown_experiment_raises(self):
+        with pytest.raises(KeyError):
+            run_experiment("fig99")
+
+    def test_list_experiments(self):
+        assert len(list_experiments()) == len(EXPERIMENTS)
+
+    def test_format_rows(self):
+        text = format_rows([{"a": 1.0, "b": "x"}, {"a": 2.5, "b": "y"}])
+        assert "a" in text and "x" in text
+        assert format_rows([]) == "(no rows)"
+
+
+class TestKernelExperiments:
+    def test_fig1_shares_sum_to_one(self):
+        rows = fig1_flop_breakdown()
+        assert sum(row["share"] for row in rows) == pytest.approx(1.0)
+        assert all(row["flops"] > 0 for row in rows)
+
+    def test_fig3_paper_ordering(self):
+        """Scalar matlib slowest; Eigen beats out-of-box vector matlib;
+        hand-optimized RVV fastest (Figure 3)."""
+        cycles = {row["variant"]: row["cycles"] for row in fig3_library_vs_optimized()}
+        scalar_matlib = cycles["Rocket + scalar matlib"]
+        eigen = cycles["Rocket + optimized Eigen"]
+        vector_matlib = cycles["Saturn (Rocket) + vectorized matlib"]
+        vector_opt = cycles["Saturn (Rocket) + hand-optimized RVV"]
+        assert scalar_matlib > vector_matlib > vector_opt
+        assert eigen < vector_matlib
+        assert vector_opt < eigen
+
+    def test_fig4_lmul_shape(self):
+        """LMUL helps the elementwise kernels but hurts the iterative ones."""
+        rows = {row["lmul"]: row for row in fig4_lmul_sweep()}
+        assert rows[8]["elementwise_cycles"] < rows[1]["elementwise_cycles"]
+        assert rows[8]["iterative_cycles"] > rows[1]["iterative_cycles"]
+
+    def test_fig5_fusion_helps_overall(self):
+        rows = fig5_operator_fusion()
+        total = next(row for row in rows if row["kernel"] == "total")
+        assert total["speedup"] > 1.5
+        elementwise = [row["speedup"] for row in rows
+                       if row["class"] == "elementwise"]
+        assert max(elementwise) > 1.5
+
+    def test_sec43_codegen_ratios(self):
+        """Scalar >> vector baseline >> automated fused (Section 4.3)."""
+        rows = {row["variant"]: row for row in sec43_codegen_cycles()}
+        scalar = rows["scalar baseline (CPU)"]["cycles_per_solve"]
+        vector = rows["vectorized baseline (RVV, no grouping)"]["cycles_per_solve"]
+        fused = rows["automated unrolled + fused"]["cycles_per_solve"]
+        assert scalar / vector > 3.0
+        assert vector / fused > 1.8
+
+    def test_headline_speedup_band(self):
+        """End-to-end optimized-vector speedup in the band of the paper's 3.71x."""
+        row = headline_speedups()[0]
+        assert 2.5 < row["end_to_end_speedup"] < 5.0
+        assert row["best_kernel_speedup"] >= row["end_to_end_speedup"]
+
+
+class TestGemminiExperiments:
+    def test_fig9_more_granularity_less_overhead(self):
+        rows = fig9_sync_granularity()
+        overheads = [row["sync_overhead_fraction"] for row in rows]
+        assert overheads == sorted(overheads, reverse=True)
+        assert rows[0]["fences"] > rows[-1]["fences"]
+
+    def test_fig12_engines_help_elementwise_kernels(self):
+        rows = {row["kernel"]: row for row in fig12_engine_ablation()}
+        slack = rows["update_slack_1"]
+        assert slack["elementwise_engines_speedup"] > slack["mesh_only_speedup"]
+        total = rows["total"]
+        assert total["elementwise_plus_pool_speedup"] >= total["elementwise_engines_speedup"]
+
+
+class TestParetoExperiment:
+    def test_pareto_frontier_helper(self):
+        points = [(1.0, 1.0), (2.0, 3.0), (3.0, 2.0), (0.5, 0.5)]
+        frontier = pareto_frontier(points)
+        assert 3 in frontier and 1 in frontier and 0 in frontier
+        assert 2 not in frontier
+
+    def test_fig10_paper_shape(self):
+        rows = fig10_pareto()
+        by_name = {row["design_point"]: row for row in rows}
+        # Rocket is on the frontier at the low-area end.
+        assert by_name["rocket"]["pareto_optimal"]
+        # At least one Gemmini design is Pareto-optimal in the mid-area window.
+        assert any(row["pareto_optimal"] and row["category"] == "systolic"
+                   for row in rows)
+        # The big out-of-order cores are dominated.
+        for name in ("medium-boom", "large-boom", "mega-boom"):
+            assert not by_name[name]["pareto_optimal"], name
+        # The best vector design outperforms every scalar design.
+        best_vector = max(row["solve_hz_at_500mhz"] for row in rows
+                          if row["category"] == "vector")
+        best_scalar = max(row["solve_hz_at_500mhz"] for row in rows
+                          if row["category"] == "scalar")
+        assert best_vector > best_scalar
+
+
+class TestHILStaticExperiments:
+    def test_table1_columns(self):
+        rows = table1_variants()
+        assert {row["name"] for row in rows} == {"CrazyFlie", "Hawk", "Heron"}
+        hawk_row = next(row for row in rows if row["name"] == "Hawk")
+        assert hawk_row["motor_kv"] == 28000.0
+
+    def test_sec53_vector_frees_cpu(self):
+        rows = sec53_concurrent_tasks()
+        by_impl = {row["implementation"]: row for row in rows}
+        assert (by_impl["vector"]["mpc_cpu_occupancy_pct"]
+                < by_impl["scalar"]["mpc_cpu_occupancy_pct"])
+        assert by_impl["vector vs scalar"]["fps_improvement"] > 1.0

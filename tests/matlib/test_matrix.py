@@ -1,0 +1,79 @@
+"""Tests for the Mat buffer type."""
+
+import numpy as np
+import pytest
+
+from repro.matlib import Mat, MatlibError, matrix, vector, zeros
+
+
+class TestConstruction:
+    def test_vector_is_1d(self):
+        v = vector([1.0, 2.0], name="v")
+        assert v.is_vector and not v.is_matrix
+        assert v.shape == (2,)
+
+    def test_matrix_is_2d(self):
+        m = matrix([[1.0, 2.0], [3.0, 4.0]], name="m")
+        assert m.is_matrix
+        assert m.shape == (2, 2)
+
+    def test_zeros(self):
+        z = zeros((2, 3), name="z")
+        assert z.shape == (2, 3)
+        assert np.all(z.data == 0.0)
+
+    def test_rejects_3d(self):
+        with pytest.raises(MatlibError):
+            Mat(np.zeros((2, 2, 2)))
+
+    def test_integer_input_promoted_to_float(self):
+        v = Mat(np.array([1, 2, 3]))
+        assert v.dtype in (np.float32, np.float64)
+
+    def test_copy_is_independent(self):
+        v = vector([1.0, 2.0])
+        c = v.copy()
+        c[0] = 99.0
+        assert v[0] == 1.0
+
+    def test_constructor_copies_input(self):
+        raw = np.array([1.0, 2.0])
+        v = Mat(raw)
+        raw[0] = 99.0
+        assert v[0] == 1.0
+
+
+class TestMutation:
+    def test_assign_shape_checked(self):
+        v = vector([1.0, 2.0])
+        with pytest.raises(MatlibError):
+            v.assign([1.0, 2.0, 3.0])
+
+    def test_assign_in_place(self):
+        v = vector([1.0, 2.0])
+        v.assign([3.0, 4.0])
+        np.testing.assert_allclose(v.data, [3.0, 4.0])
+
+    def test_setitem(self):
+        v = vector([1.0, 2.0])
+        v[1] = 7.0
+        assert v[1] == 7.0
+
+
+class TestProtocols:
+    def test_len_and_iteration(self):
+        v = vector([1.0, 2.0, 3.0])
+        assert len(v) == 3
+
+    def test_numpy_interop(self):
+        v = vector([1.0, 2.0])
+        assert np.sum(v) == pytest.approx(3.0)
+
+    def test_equality_by_value(self):
+        assert vector([1.0, 2.0]) == vector([1.0, 2.0])
+        assert vector([1.0, 2.0]) != vector([1.0, 3.0])
+
+    def test_nbytes_and_size(self):
+        m = zeros((4, 4))
+        assert m.size == 16
+        assert m.nbytes == 16 * 8

@@ -1,0 +1,184 @@
+"""Unit and property tests for the matlib operator library."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro import matlib as ml
+from repro.matlib import Mat, MatlibError
+
+
+def _vec(values, name="v"):
+    return ml.vector(values, name=name)
+
+
+class TestMatrixProducts:
+    def test_gemv_matches_numpy(self):
+        A = np.arange(12.0).reshape(3, 4)
+        x = np.array([1.0, 2.0, 3.0, 4.0])
+        result = ml.gemv(Mat(A, name="A"), _vec(x))
+        np.testing.assert_allclose(result.data, A @ x)
+
+    def test_gemv_t_matches_numpy(self):
+        A = np.arange(12.0).reshape(3, 4)
+        x = np.array([1.0, 2.0, 3.0])
+        result = ml.gemv_t(Mat(A, name="A"), _vec(x))
+        np.testing.assert_allclose(result.data, A.T @ x)
+
+    def test_gemm_matches_numpy(self):
+        A = np.arange(6.0).reshape(2, 3)
+        B = np.arange(12.0).reshape(3, 4)
+        result = ml.gemm(Mat(A, name="A"), Mat(B, name="B"))
+        np.testing.assert_allclose(result.data, A @ B)
+
+    def test_gemv_shape_mismatch_raises(self):
+        A = np.zeros((3, 4))
+        with pytest.raises(MatlibError):
+            ml.gemv(Mat(A, name="A"), _vec([1.0, 2.0]))
+
+    def test_gemm_requires_2d(self):
+        with pytest.raises(MatlibError):
+            ml.gemm(_vec([1.0, 2.0]), _vec([3.0, 4.0]))
+
+    def test_dot(self):
+        assert ml.dot(_vec([1.0, 2.0, 3.0]), _vec([4.0, 5.0, 6.0])) == pytest.approx(32.0)
+
+    def test_dot_shape_mismatch(self):
+        with pytest.raises(MatlibError):
+            ml.dot(_vec([1.0]), _vec([1.0, 2.0]))
+
+    def test_outer(self):
+        result = ml.outer(_vec([1.0, 2.0]), _vec([3.0, 4.0, 5.0]))
+        assert result.shape == (2, 3)
+        np.testing.assert_allclose(result.data, np.outer([1, 2], [3, 4, 5]))
+
+    def test_output_buffer_reused(self):
+        A = np.eye(3)
+        out = ml.zeros(3, name="out")
+        result = ml.gemv(Mat(A, name="A"), _vec([1.0, 2.0, 3.0]), out=out)
+        assert result is out
+        np.testing.assert_allclose(out.data, [1.0, 2.0, 3.0])
+
+
+class TestElementwise:
+    def test_add_sub_scale(self):
+        x, y = _vec([1.0, 2.0]), _vec([3.0, 5.0])
+        np.testing.assert_allclose(ml.add(x, y).data, [4.0, 7.0])
+        np.testing.assert_allclose(ml.sub(x, y).data, [-2.0, -3.0])
+        np.testing.assert_allclose(ml.scale(2.0, x).data, [2.0, 4.0])
+
+    def test_axpy(self):
+        np.testing.assert_allclose(
+            ml.axpy(2.0, _vec([1.0, 2.0]), _vec([10.0, 20.0])).data, [12.0, 24.0])
+
+    def test_negate_abs_relu(self):
+        x = _vec([-1.0, 2.0, -3.0])
+        np.testing.assert_allclose(ml.negate(x).data, [1.0, -2.0, 3.0])
+        np.testing.assert_allclose(ml.abs_(x).data, [1.0, 2.0, 3.0])
+        np.testing.assert_allclose(ml.relu(x).data, [0.0, 2.0, 0.0])
+
+    def test_clip(self):
+        x = _vec([-5.0, 0.5, 5.0])
+        result = ml.clip(x, _vec([-1.0, -1.0, -1.0]), _vec([1.0, 1.0, 1.0]))
+        np.testing.assert_allclose(result.data, [-1.0, 0.5, 1.0])
+
+    def test_ewise_min_max_mul(self):
+        x, y = _vec([1.0, 5.0]), _vec([3.0, 2.0])
+        np.testing.assert_allclose(ml.ewise_min(x, y).data, [1.0, 2.0])
+        np.testing.assert_allclose(ml.ewise_max(x, y).data, [3.0, 5.0])
+        np.testing.assert_allclose(ml.ewise_mul(x, y).data, [3.0, 10.0])
+
+    def test_sub_scaled(self):
+        np.testing.assert_allclose(
+            ml.sub_scaled(_vec([10.0, 10.0]), 2.0, _vec([1.0, 2.0])).data, [8.0, 6.0])
+
+
+class TestReductions:
+    def test_max_reduce(self):
+        assert ml.max_reduce(_vec([1.0, 9.0, 3.0])) == pytest.approx(9.0)
+
+    def test_max_abs_reduce(self):
+        assert ml.max_abs_reduce(_vec([1.0, -9.0, 3.0])) == pytest.approx(9.0)
+
+    def test_max_abs_diff(self):
+        assert ml.max_abs_diff(_vec([1.0, 2.0]), _vec([4.0, 2.5])) == pytest.approx(3.0)
+
+    def test_max_abs_diff_shape_mismatch(self):
+        with pytest.raises(MatlibError):
+            ml.max_abs_diff(_vec([1.0]), _vec([1.0, 2.0]))
+
+
+class TestDataMovement:
+    def test_copy_into(self):
+        dst = ml.zeros(3, name="dst")
+        ml.copy_into(_vec([1.0, 2.0, 3.0]), dst)
+        np.testing.assert_allclose(dst.data, [1.0, 2.0, 3.0])
+
+    def test_load_store(self):
+        loaded = ml.load(np.array([1.0, 2.0]), name="work")
+        assert loaded.name == "work"
+        home = ml.zeros(2, name="home")
+        ml.store(loaded, home)
+        np.testing.assert_allclose(home.data, [1.0, 2.0])
+
+
+# ---------------------------------------------------------------------------
+# Property-based tests
+# ---------------------------------------------------------------------------
+
+finite_vectors = arrays(np.float64, st.integers(1, 24),
+                        elements=st.floats(-1e3, 1e3, allow_nan=False))
+
+
+@settings(max_examples=40, deadline=None)
+@given(finite_vectors, finite_vectors)
+def test_add_commutes(a, b):
+    n = min(len(a), len(b))
+    a, b = a[:n], b[:n]
+    left = ml.add(_vec(a), _vec(b)).data
+    right = ml.add(_vec(b), _vec(a)).data
+    np.testing.assert_allclose(left, right)
+
+
+@settings(max_examples=40, deadline=None)
+@given(finite_vectors)
+def test_abs_is_relu_decomposition(x):
+    """The Gemmini mapping identity: abs(x) == relu(x) + relu(-x) (Eq. 1)."""
+    direct = ml.abs_(_vec(x)).data
+    composed = ml.add(ml.relu(_vec(x)), ml.relu(ml.negate(_vec(x)))).data
+    np.testing.assert_allclose(direct, composed)
+
+
+@settings(max_examples=40, deadline=None)
+@given(finite_vectors, st.floats(-100.0, 0.0), st.floats(0.0, 100.0))
+def test_clip_is_relu_decomposition(x, lower, upper):
+    """Clip via ReLU (Eqs. 2-3): the paper's slack-update mapping."""
+    lo = np.full_like(x, lower)
+    hi = np.full_like(x, upper)
+    direct = ml.clip(_vec(x), _vec(lo), _vec(hi)).data
+    low_clipped = ml.add(ml.relu(ml.sub(_vec(x), _vec(lo))), _vec(lo)).data
+    composed = ml.add(
+        ml.negate(ml.relu(ml.add(ml.negate(_vec(low_clipped)), _vec(hi)))), _vec(hi)).data
+    np.testing.assert_allclose(direct, composed, atol=1e-9)
+
+
+@settings(max_examples=40, deadline=None)
+@given(finite_vectors)
+def test_max_abs_reduce_bounds(x):
+    value = ml.max_abs_reduce(_vec(x))
+    assert value >= 0.0
+    assert value == pytest.approx(np.max(np.abs(x)))
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(1, 8), st.integers(1, 8))
+def test_gemv_linearity(rows, cols):
+    rng = np.random.default_rng(rows * 31 + cols)
+    A = rng.standard_normal((rows, cols))
+    x = rng.standard_normal(cols)
+    y = rng.standard_normal(cols)
+    lhs = ml.gemv(Mat(A, name="A"), _vec(x + y)).data
+    rhs = ml.add(ml.gemv(Mat(A, name="A"), _vec(x)), ml.gemv(Mat(A, name="A"), _vec(y))).data
+    np.testing.assert_allclose(lhs, rhs, atol=1e-9)

@@ -1,0 +1,136 @@
+"""Tests for the MPC problem definition and the pre-computed LQR cache."""
+
+import numpy as np
+import pytest
+
+from repro.tinympc import (
+    MPCProblem,
+    compute_cache,
+    dare,
+    default_quadrotor_problem,
+    riccati_recursion,
+)
+
+
+@pytest.fixture(scope="module")
+def problem():
+    return default_quadrotor_problem()
+
+
+@pytest.fixture(scope="module")
+def cache(problem):
+    return compute_cache(problem)
+
+
+def _double_integrator(dt=0.1, rho=1.0, horizon=10):
+    A = np.array([[1.0, dt], [0.0, 1.0]])
+    B = np.array([[0.5 * dt * dt], [dt]])
+    return MPCProblem(A=A, B=B, Q=np.diag([10.0, 1.0]), R=np.array([[0.1]]),
+                      rho=rho, horizon=horizon, u_min=-2.0, u_max=2.0)
+
+
+class TestProblem:
+    def test_default_dimensions(self, problem):
+        assert problem.state_dim == 12
+        assert problem.input_dim == 4
+        assert problem.horizon == 10
+
+    def test_bounds_expand_scalars(self):
+        prob = _double_integrator()
+        assert prob.u_min.shape == (1,)
+        assert prob.u_max[0] == 2.0
+        assert prob.has_input_bounds and not prob.has_state_bounds
+
+    def test_invalid_horizon_rejected(self):
+        with pytest.raises(ValueError):
+            _double_integrator(horizon=1)
+
+    def test_invalid_rho_rejected(self):
+        with pytest.raises(ValueError):
+            _double_integrator(rho=0.0)
+
+    def test_inconsistent_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            MPCProblem(A=np.eye(2), B=np.eye(2), Q=np.eye(2), R=np.eye(2),
+                       u_min=1.0, u_max=-1.0)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            MPCProblem(A=np.eye(3), B=np.zeros((2, 1)), Q=np.eye(3), R=np.eye(1))
+
+    def test_augmented_costs_add_rho(self, problem):
+        aug = problem.augmented_state_cost()
+        np.testing.assert_allclose(aug - problem.Q,
+                                   problem.rho * np.eye(problem.state_dim))
+
+    def test_scaled_clone(self, problem):
+        clone = problem.scaled(horizon=20, rho=2.0)
+        assert clone.horizon == 20 and clone.rho == 2.0
+        assert problem.horizon == 10
+
+
+class TestDare:
+    def test_dare_satisfies_riccati_equation(self):
+        prob = _double_integrator()
+        P, K, iterations, residual = dare(prob.A, prob.B,
+                                          prob.augmented_state_cost(),
+                                          prob.augmented_input_cost())
+        assert residual < 1e-8
+        A, B = prob.A, prob.B
+        Q, R = prob.augmented_state_cost(), prob.augmented_input_cost()
+        K_check = np.linalg.solve(R + B.T @ P @ B, B.T @ P @ A)
+        P_check = Q + A.T @ P @ (A - B @ K_check)
+        np.testing.assert_allclose(P, P_check, atol=1e-6)
+        np.testing.assert_allclose(K, K_check, atol=1e-8)
+
+    def test_dare_gain_stabilizes(self):
+        prob = _double_integrator()
+        _, K, _, _ = dare(prob.A, prob.B, prob.Q, prob.R)
+        eigenvalues = np.linalg.eigvals(prob.A - prob.B @ K)
+        assert np.max(np.abs(eigenvalues)) < 1.0
+
+
+class TestCache:
+    def test_cache_dimensions(self, problem, cache):
+        n, m = problem.state_dim, problem.input_dim
+        assert cache.Kinf.shape == (m, n)
+        assert cache.Pinf.shape == (n, n)
+        assert cache.Quu_inv.shape == (m, m)
+        assert cache.AmBKt.shape == (n, n)
+
+    def test_closed_loop_stable(self, problem, cache):
+        closed_loop = problem.A - problem.B @ cache.Kinf
+        assert np.max(np.abs(np.linalg.eigvals(closed_loop))) < 1.0
+
+    def test_pinf_symmetric_positive_definite(self, cache):
+        np.testing.assert_allclose(cache.Pinf, cache.Pinf.T, atol=1e-8)
+        assert np.all(np.linalg.eigvalsh(cache.Pinf) > 0)
+
+    def test_quu_inv_is_inverse(self, problem, cache):
+        Quu = problem.augmented_input_cost() + problem.B.T @ cache.Pinf @ problem.B
+        np.testing.assert_allclose(cache.Quu_inv @ Quu, np.eye(problem.input_dim),
+                                   atol=1e-8)
+
+    def test_ambkt_is_transpose_of_closed_loop(self, problem, cache):
+        np.testing.assert_allclose(cache.AmBKt,
+                                   (problem.A - problem.B @ cache.Kinf).T)
+
+    def test_as_dict_has_all_matrices(self, cache):
+        assert set(cache.as_dict()) == {"Kinf", "Pinf", "Quu_inv", "AmBKt"}
+
+
+class TestRiccatiRecursion:
+    def test_finite_horizon_converges_to_infinite(self):
+        prob = _double_integrator(horizon=60)
+        cache = compute_cache(prob)
+        K_list, P_list = riccati_recursion(prob)
+        np.testing.assert_allclose(K_list[0], cache.Kinf, atol=1e-4)
+        np.testing.assert_allclose(P_list[0], cache.Pinf, rtol=1e-3)
+
+    def test_gains_monotone_cost_to_go(self):
+        prob = _double_integrator(horizon=20)
+        _, P_list = riccati_recursion(prob)
+        # Cost-to-go grows (in the PSD sense) as more steps remain.
+        early = np.trace(P_list[0])
+        late = np.trace(P_list[-1])
+        assert early >= late

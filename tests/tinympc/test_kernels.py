@@ -1,0 +1,128 @@
+"""Tests for the TinyMPC kernels: fast/traced equivalence and FLOP accounting."""
+
+import numpy as np
+import pytest
+
+from repro.matlib import OpKind
+from repro.tinympc import (
+    ALL_KERNELS,
+    ELEMENTWISE_KERNELS,
+    ITERATIVE_KERNELS,
+    KERNEL_CLASSES,
+    REDUCTION_KERNELS,
+    build_iteration_program,
+    compute_cache,
+    default_quadrotor_problem,
+    kernel_flop_breakdown,
+)
+from repro.tinympc.kernels import (
+    backward_pass,
+    compute_residuals,
+    forward_pass,
+    run_traced_iteration,
+    update_dual,
+    update_linear_cost,
+    update_slack,
+)
+from repro.tinympc.workspace import TinyMPCWorkspace
+
+
+@pytest.fixture(scope="module")
+def problem():
+    return default_quadrotor_problem()
+
+
+@pytest.fixture(scope="module")
+def cache(problem):
+    return compute_cache(problem)
+
+
+def _randomized_workspace(problem, seed=0):
+    rng = np.random.default_rng(seed)
+    ws = TinyMPCWorkspace(problem)
+    ws.x[...] = 0.1 * rng.standard_normal(ws.x.shape)
+    ws.u[...] = 0.01 * rng.standard_normal(ws.u.shape)
+    ws.y[...] = 0.01 * rng.standard_normal(ws.y.shape)
+    ws.g[...] = 0.01 * rng.standard_normal(ws.g.shape)
+    ws.p[...] = 0.05 * rng.standard_normal(ws.p.shape)
+    ws.r[...] = 0.01 * rng.standard_normal(ws.r.shape)
+    ws.q[...] = 0.05 * rng.standard_normal(ws.q.shape)
+    ws.Xref[...] = 0.1 * rng.standard_normal(ws.Xref.shape)
+    return ws
+
+
+class TestKernelRegistry:
+    def test_all_kernels_classified(self):
+        assert set(ALL_KERNELS) == set(KERNEL_CLASSES)
+        assert set(ITERATIVE_KERNELS) | set(ELEMENTWISE_KERNELS) | set(REDUCTION_KERNELS) \
+            == set(ALL_KERNELS)
+
+    @pytest.mark.parametrize("kernel", ALL_KERNELS)
+    def test_kernel_class_is_valid(self, kernel):
+        assert KERNEL_CLASSES[kernel] in ("iterative", "elementwise", "reduction")
+
+
+class TestFastTracedEquivalence:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_one_iteration_matches(self, problem, cache, seed):
+        ws_fast = _randomized_workspace(problem, seed)
+        ws_traced = _randomized_workspace(problem, seed)
+        forward_pass(ws_fast, cache)
+        update_slack(ws_fast)
+        update_dual(ws_fast)
+        update_linear_cost(ws_fast, cache)
+        compute_residuals(ws_fast)
+        backward_pass(ws_fast, cache)
+        run_traced_iteration(ws_traced, cache)
+        for name in ("x", "u", "p", "d", "q", "r", "znew", "vnew", "y", "g"):
+            np.testing.assert_allclose(getattr(ws_fast, name),
+                                       getattr(ws_traced, name), atol=1e-9,
+                                       err_msg="mismatch in {}".format(name))
+        for key, value in ws_fast.residuals().items():
+            assert getattr(ws_traced, key) == pytest.approx(value, abs=1e-9)
+
+    def test_slack_projection_respects_bounds(self, problem, cache):
+        ws = _randomized_workspace(problem, 3)
+        ws.u[...] = 10.0   # force saturation
+        update_slack(ws)
+        assert np.all(ws.znew <= problem.u_max + 1e-12)
+        assert np.all(ws.znew >= problem.u_min - 1e-12)
+
+
+class TestIterationProgram:
+    def test_program_covers_every_kernel(self, problem):
+        program = build_iteration_program(problem)
+        assert set(program.kernels()) == set(ALL_KERNELS)
+
+    def test_program_flops_positive_everywhere(self, problem):
+        breakdown = kernel_flop_breakdown(problem)
+        for kernel in ALL_KERNELS:
+            assert breakdown[kernel] > 0, kernel
+
+    def test_iterative_kernels_dominate_flops(self, problem):
+        """Figure 1's key shape: the GEMV-heavy iterative passes dominate."""
+        breakdown = kernel_flop_breakdown(problem)
+        iterative = sum(breakdown[k] for k in ITERATIVE_KERNELS)
+        total = sum(breakdown.values())
+        assert iterative / total > 0.5
+
+    def test_program_scales_with_horizon(self, problem):
+        short = build_iteration_program(problem.scaled(horizon=5))
+        long = build_iteration_program(problem.scaled(horizon=20))
+        assert long.total_flops > short.total_flops
+
+    def test_elementwise_ops_are_whole_horizon(self, problem):
+        """The slack/dual kernels operate on stacked full-horizon tensors."""
+        program = build_iteration_program(problem)
+        slack_ops = [op for op in program if op.kernel == "update_slack_2"
+                     and op.kind is OpKind.ELEMENTWISE]
+        assert slack_ops
+        n_total = problem.horizon * problem.state_dim
+        assert max(op.output_elements for op in slack_ops) == n_total
+
+    def test_reductions_are_global(self, problem):
+        program = build_iteration_program(problem)
+        reductions = [op for op in program if op.kernel in REDUCTION_KERNELS]
+        assert reductions
+        assert all(op.kind is OpKind.REDUCTION for op in reductions)
+        assert len(reductions) == len(REDUCTION_KERNELS)
