@@ -1,15 +1,19 @@
-"""Quickstart: solve an MPC problem, time it on hardware models, close the loop.
+"""Quickstart: solve an MPC problem, time it on hardware models, close the
+loop, and batch-solve a fleet of instances at once.
 
 Run with::
 
-    python examples/quickstart.py
+    PYTHONPATH=src python examples/quickstart.py
 """
+
+import time
 
 import numpy as np
 
 from repro.codegen import CodegenFlow
 from repro.drone import Quadrotor, crazyflie, hover_input, hover_state
 from repro.tinympc import (
+    BatchTinyMPCSolver,
     SolverSettings,
     TinyMPCSolver,
     build_iteration_program,
@@ -57,6 +61,37 @@ def main() -> None:
         plant.step(command)
     print("\nAfter 2 s of closed-loop flight the drone is at",
           np.round(plant.position, 3), "(target [0, 0, 0.75])")
+
+    # 5. Batched fleet-scale solving: 64 perturbed instances of the same
+    #    problem, solved as one stacked (B, N, n) workspace versus a Python
+    #    loop of scalar solves.  Results are numerically equivalent
+    #    (identical iteration counts); the batch engine just amortizes the
+    #    Python/numpy call overhead across the whole fleet.
+    batch_size = 64
+    rng = np.random.default_rng(0)
+    x0s = np.zeros((batch_size, 12))
+    x0s[:, 0:3] = 0.3 * rng.standard_normal((batch_size, 3))
+    settings = SolverSettings(max_iterations=20)
+
+    loop_solvers = [TinyMPCSolver(problem, settings) for _ in range(batch_size)]
+    start = time.perf_counter()
+    loop_solutions = [s.solve(x0s[i], Xref=np.zeros(12))
+                      for i, s in enumerate(loop_solvers)]
+    loop_seconds = time.perf_counter() - start
+
+    batch_solver = BatchTinyMPCSolver(problem, batch_size, settings)
+    start = time.perf_counter()
+    batch_solutions = batch_solver.solve(x0s, Xref=np.zeros(12))
+    batch_seconds = time.perf_counter() - start
+
+    assert np.array_equal(batch_solutions.iterations,
+                          [s.iterations for s in loop_solutions])
+    print("\nBatched solve of {} instances: {:.1f} ms vs {:.1f} ms for a "
+          "Python loop ({:.1f}x)".format(
+              batch_size, 1e3 * batch_seconds, 1e3 * loop_seconds,
+              loop_seconds / batch_seconds))
+    print("Distinct ADMM iteration counts across the fleet (batch == loop):",
+          sorted(set(batch_solutions.iterations.tolist())))
 
 
 if __name__ == "__main__":

@@ -34,6 +34,7 @@ from .registry import (
     list_experiments,
     run_experiment,
 )
+from .runner import BATCH_ROUTED_EXPERIMENTS, ExperimentRunner, run_cached
 
 __all__ = [
     "default_program",
@@ -63,4 +64,7 @@ __all__ = [
     "format_rows",
     "list_experiments",
     "run_experiment",
+    "BATCH_ROUTED_EXPERIMENTS",
+    "ExperimentRunner",
+    "run_cached",
 ]

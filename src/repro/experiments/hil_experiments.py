@@ -69,8 +69,16 @@ def fig16_hil_sweep(implementations: Sequence[str] = ("scalar", "vector"),
                                                           Difficulty.MEDIUM,
                                                           Difficulty.HARD),
                     episodes_per_cell: int = 3,
-                    include_ideal: bool = True) -> List[Dict]:
-    """The full HIL sweep: one row per (implementation, frequency, difficulty)."""
+                    include_ideal: bool = True,
+                    batched: bool = True) -> List[Dict]:
+    """The full HIL sweep: one row per (implementation, frequency, difficulty).
+
+    With ``batched=True`` (the default) every configuration's whole scenario
+    grid — all difficulties times ``episodes_per_cell`` episodes — flies as
+    one lockstep batch through a single
+    :class:`~repro.tinympc.batch.BatchTinyMPCSolver`, which is numerically
+    equivalent to, and several times faster than, the sequential loop.
+    """
     rows: List[Dict] = []
     configurations = [(impl, freq) for impl in implementations
                       for freq in frequencies_mhz]
@@ -80,10 +88,14 @@ def fig16_hil_sweep(implementations: Sequence[str] = ("scalar", "vector"),
         config = HILConfig(implementation=implementation,
                            frequency_mhz=frequency if frequency else 100.0)
         loop = HILLoop(config)
-        for difficulty in difficulties:
-            results = [loop.run_scenario(generate_scenario(difficulty, seed))
-                       for seed in range(episodes_per_cell)]
-            cell = aggregate_cell(results)
+        scenarios = [generate_scenario(difficulty, seed)
+                     for difficulty in difficulties
+                     for seed in range(episodes_per_cell)]
+        results = loop.run_scenarios(scenarios, batched=batched)
+        for index, difficulty in enumerate(difficulties):
+            cell_results = results[index * episodes_per_cell:
+                                   (index + 1) * episodes_per_cell]
+            cell = aggregate_cell(cell_results)
             row = cell.as_row()
             row["implementation"] = implementation
             row["frequency_mhz"] = frequency
@@ -139,19 +151,24 @@ def fig18_swap_variants(frequencies_mhz: Sequence[float] = (100.0, 500.0),
                                                               Difficulty.MEDIUM,
                                                               Difficulty.HARD),
                         episodes_per_cell: int = 2,
-                        implementation: str = "vector") -> List[Dict]:
+                        implementation: str = "vector",
+                        batched: bool = True) -> List[Dict]:
     """Mission success and power for CrazyFlie / Hawk / Heron, using the
-    lowest-power adequate frequency per variant (Figure 18)."""
+    lowest-power adequate frequency per variant (Figure 18).
+
+    As in :func:`fig16_hil_sweep`, each (variant, frequency) cell's scenario
+    grid flies as one batch when ``batched=True``.
+    """
     rows: List[Dict] = []
     for name, params in all_variants().items():
         best_row: Optional[Dict] = None
         for frequency in frequencies_mhz:
             config = HILConfig(implementation=implementation, frequency_mhz=frequency)
             loop = HILLoop(config, params=params)
-            results = []
-            for difficulty in difficulties:
-                for seed in range(episodes_per_cell):
-                    results.append(loop.run_scenario(generate_scenario(difficulty, seed)))
+            scenarios = [generate_scenario(difficulty, seed)
+                         for difficulty in difficulties
+                         for seed in range(episodes_per_cell)]
+            results = loop.run_scenarios(scenarios, batched=batched)
             success = sum(1 for r in results if r.success) / len(results)
             power = float(np.mean([r.total_power_w for r in results]))
             row = {"variant": name, "frequency_mhz": frequency,

@@ -160,8 +160,9 @@ def fig11_frontend_comparison(program: Optional[MatlibProgram] = None) -> List[D
 # Figure 13: kernel-level performance across architectures
 # ---------------------------------------------------------------------------
 
-def fig13_kernel_comparison(program: Optional[MatlibProgram] = None) -> List[Dict]:
-    program = program or default_program()
+def fig13_kernel_comparison(program: Optional[MatlibProgram] = None,
+                            problem: Optional[MPCProblem] = None) -> List[Dict]:
+    program = program or default_program(problem)
     flow = CodegenFlow()
     reports = {
         "superscalar (Shuttle, Eigen)": flow.compile(program, "shuttle", "eigen").report,

@@ -1,4 +1,11 @@
-"""Design-space exploration: performance vs area Pareto frontier (Figure 10)."""
+"""Design-space exploration: performance vs area Pareto frontier (Figure 10).
+
+The sweep compiles one ADMM-iteration program for every design point in the
+catalog; it accepts either a pre-built program or an
+:class:`~repro.tinympc.problem.MPCProblem` (so sweeps over problem variants
+— and the cache keys in :mod:`repro.experiments.runner` — stay tied to the
+problem contents rather than to a shared default).
+"""
 
 from __future__ import annotations
 
@@ -7,6 +14,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from ..arch import list_design_points
 from ..codegen import CodegenFlow
 from ..matlib import MatlibProgram
+from ..tinympc import MPCProblem
 from .kernel_experiments import default_program
 
 __all__ = ["fig10_pareto", "pareto_frontier"]
@@ -16,10 +24,11 @@ _CATEGORY_LEVEL = {"scalar": "eigen", "vector": "fused", "systolic": "optimized"
 
 
 def fig10_pareto(program: Optional[MatlibProgram] = None,
+                 problem: Optional[MPCProblem] = None,
                  solve_iterations: int = 10) -> List[Dict]:
     """One row per design point: area, cycles per solve, achievable ADMM solve
     frequency at 500 MHz, and whether the point is Pareto-optimal."""
-    program = program or default_program()
+    program = program or default_program(problem)
     flow = CodegenFlow()
     rows: List[Dict] = []
     for point in list_design_points():

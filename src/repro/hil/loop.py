@@ -35,7 +35,7 @@ from ..drone import (
     linearize_hover,
     total_actuation_power,
 )
-from ..tinympc import MPCProblem, SolverSettings, TinyMPCSolver
+from ..tinympc import BatchTinyMPCSolver, MPCProblem, SolverSettings, TinyMPCSolver
 from .metrics import ScenarioResult
 from .soc import SoCModel
 from .uart import UARTLink
@@ -85,6 +85,31 @@ class HILConfig:
     @property
     def control_period(self) -> float:
         return 1.0 / self.control_rate_hz
+
+
+@dataclass
+class _EpisodeState:
+    """Mutable per-episode bookkeeping for the lockstep batched runner.
+
+    Mirrors exactly the local variables of :meth:`HILLoop.run_scenario` so
+    the batched and sequential paths stay behaviorally identical.
+    """
+
+    scenario: Scenario
+    plant: Quadrotor
+    command: np.ndarray
+    steps: int
+    pending_command: Optional[np.ndarray] = None
+    pending_ready_time: float = 0.0
+    solver_free_time: float = 0.0
+    next_control_time: float = 0.0
+    solve_times: List[float] = field(default_factory=list)
+    solve_iterations: List[int] = field(default_factory=list)
+    compute_busy_time: float = 0.0
+    actuation_energy: float = 0.0
+    positions: List[np.ndarray] = field(default_factory=list)
+    crashed: bool = False
+    last_time: float = 0.0
 
 
 class HILLoop:
@@ -216,6 +241,132 @@ class HILLoop:
             flight_time_s=flight_time,
             positions=np.array(positions) if positions else None,
         )
+
+    def run_scenarios(self, scenarios: List[Scenario],
+                      batched: bool = True) -> List[ScenarioResult]:
+        """Fly several scenarios, batching their MPC solves together.
+
+        All episodes share this loop's configuration, drone variant, and SoC
+        timing model, so their solves are instances of one problem structure
+        and can run through a single :class:`BatchTinyMPCSolver`: the
+        episodes advance in lockstep at physics-step granularity and, at
+        every step, whichever episodes are due for a control tick solve as
+        one masked batch while the rest keep their warm-start state parked.
+        Because the batched solver is numerically equivalent to sequential
+        solves, the returned :class:`ScenarioResult` list matches
+        :meth:`run_scenario` applied per scenario (up to float round-off in
+        the batched GEMMs).
+
+        With ``batched=False`` this is exactly a loop over
+        :meth:`run_scenario` — the reference the equivalence tests use.
+        """
+        scenarios = list(scenarios)
+        if not scenarios:
+            return []
+        if not batched:
+            return [self.run_scenario(scenario) for scenario in scenarios]
+
+        config = self.config
+        batch_size = len(scenarios)
+        solver = BatchTinyMPCSolver(
+            self.problem, batch_size,
+            SolverSettings(max_iterations=config.max_admm_iterations,
+                           warm_start=True))
+        hover = hover_input(self.params)
+        state_dim = self.problem.state_dim
+        control_period = (config.physics_dt if config.is_ideal
+                          else config.control_period)
+        episodes = [_EpisodeState(scenario=scenario,
+                                  plant=Quadrotor(self.params, dt=config.physics_dt),
+                                  command=hover.copy(),
+                                  steps=int(round(scenario.duration / config.physics_dt)))
+                    for scenario in scenarios]
+        for episode in episodes:
+            episode.plant.reset(hover_state(episode.scenario.start_position))
+
+        x0_batch = np.zeros((batch_size, state_dim))
+        goal_batch = np.zeros((batch_size, state_dim))
+        due = np.zeros(batch_size, dtype=bool)
+        for step in range(max(episode.steps for episode in episodes)):
+            time = step * config.physics_dt
+            due[:] = False
+            for index, episode in enumerate(episodes):
+                if episode.crashed or step >= episode.steps:
+                    continue
+                episode.last_time = time
+                if (episode.pending_command is not None
+                        and time >= episode.pending_ready_time):
+                    episode.command = hover + episode.pending_command
+                    episode.pending_command = None
+                if time >= episode.next_control_time and time >= episode.solver_free_time:
+                    due[index] = True
+                    x0_batch[index] = episode.plant.observe()
+                    waypoint = episode.scenario.active_waypoint(time)
+                    goal_batch[index] = self._goal_state(waypoint.as_array())
+            if due.any():
+                solution = solver.solve(x0_batch, Xref=goal_batch, active=due)
+                for index in np.flatnonzero(due):
+                    episode = episodes[index]
+                    control = solution.inputs[index, 0]
+                    iterations = int(solution.iterations[index])
+                    latency = self._solve_latency(iterations)
+                    compute_only = (0.0 if config.is_ideal
+                                    else self.soc.solve_latency(iterations))
+                    episode.solve_times.append(compute_only)
+                    episode.solve_iterations.append(iterations)
+                    episode.compute_busy_time += compute_only
+                    if config.is_ideal:
+                        episode.command = hover + control
+                    else:
+                        episode.pending_command = control
+                        episode.pending_ready_time = time + latency
+                        episode.solver_free_time = time + max(latency, 1e-9)
+                    episode.next_control_time += control_period
+                    if episode.solver_free_time > episode.next_control_time:
+                        periods_behind = int(np.ceil(
+                            (episode.solver_free_time - episode.next_control_time)
+                            / control_period))
+                        episode.next_control_time += periods_behind * control_period
+            for episode in episodes:
+                if episode.crashed or step >= episode.steps:
+                    continue
+                episode.plant.step(episode.command)
+                episode.actuation_energy += total_actuation_power(
+                    episode.plant.rotor_thrusts, self.params) * config.physics_dt
+                if config.record_trajectory:
+                    episode.positions.append(episode.plant.position)
+                if episode.plant.has_crashed():
+                    episode.crashed = True
+
+        results = []
+        for episode in episodes:
+            flight_time = max(episode.last_time, config.physics_dt)
+            final_distance = float(np.linalg.norm(
+                episode.plant.position
+                - episode.scenario.final_waypoint.as_array()))
+            success = ((not episode.crashed)
+                       and final_distance <= config.waypoint_tolerance)
+            if config.is_ideal:
+                soc_power = 0.0
+            else:
+                activity = min(episode.compute_busy_time / flight_time, 1.0)
+                soc_power = self.soc.power(activity)
+            results.append(ScenarioResult(
+                scenario=episode.scenario,
+                implementation=config.implementation,
+                frequency_mhz=config.frequency_mhz,
+                success=success,
+                crashed=episode.crashed,
+                final_distance=final_distance,
+                solve_times=episode.solve_times,
+                solve_iterations=episode.solve_iterations,
+                actuation_power_w=episode.actuation_energy / flight_time,
+                soc_power_w=soc_power,
+                flight_time_s=flight_time,
+                positions=(np.array(episode.positions)
+                           if episode.positions else None),
+            ))
+        return results
 
     def run_disturbance(self, disturbance: Disturbance,
                         hold_position: Tuple[float, float, float] = (0.0, 0.0, 0.75),

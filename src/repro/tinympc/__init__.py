@@ -1,9 +1,10 @@
 """TinyMPC: the embedded ADMM MPC solver that is the paper's target workload."""
 
-from .problem import MPCProblem, default_quadrotor_problem
+from .problem import MPCProblem, default_quadrotor_problem, problem_hash
 from .cache import LQRCache, compute_cache, dare, riccati_recursion
-from .workspace import TinyMPCWorkspace
+from .workspace import BatchTinyMPCWorkspace, TinyMPCWorkspace
 from .solver import SolverSettings, TinyMPCSolution, TinyMPCSolver
+from .batch import BatchTinyMPCSolution, BatchTinyMPCSolver
 from .kernels import (
     ALL_KERNELS,
     ELEMENTWISE_KERNELS,
@@ -23,14 +24,18 @@ from .reference import (
 __all__ = [
     "MPCProblem",
     "default_quadrotor_problem",
+    "problem_hash",
     "LQRCache",
     "compute_cache",
     "dare",
     "riccati_recursion",
     "TinyMPCWorkspace",
+    "BatchTinyMPCWorkspace",
     "SolverSettings",
     "TinyMPCSolution",
     "TinyMPCSolver",
+    "BatchTinyMPCSolution",
+    "BatchTinyMPCSolver",
     "ALL_KERNELS",
     "ELEMENTWISE_KERNELS",
     "ITERATIVE_KERNELS",

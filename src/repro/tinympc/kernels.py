@@ -91,6 +91,14 @@ KERNEL_CLASSES.update({name: "reduction" for name in REDUCTION_KERNELS})
 # ---------------------------------------------------------------------------
 # Fast (numpy) kernel implementations
 # ---------------------------------------------------------------------------
+#
+# These operate on either workspace layout: the scalar ``(N, n)`` arrays of
+# :class:`TinyMPCWorkspace` or the stacked ``(B, N, n)`` arrays of
+# :class:`~repro.tinympc.workspace.BatchTinyMPCWorkspace`.  Horizon-adjacent
+# slices are indexed as ``array[..., i, :]`` and the per-knot-point GEMVs are
+# written as right-multiplications (``x @ A.T``) so one code path serves both
+# shapes — the batched case turns every GEMV into a single ``(B, k) @ (k, k)``
+# GEMM across all instances.
 
 def forward_pass(ws: TinyMPCWorkspace, cache: LQRCache) -> None:
     """Roll the trajectory forward with the cached LQR feedback.
@@ -98,11 +106,12 @@ def forward_pass(ws: TinyMPCWorkspace, cache: LQRCache) -> None:
     ``forward_pass_1``: u[i] = -Kinf x[i] - d[i]
     ``forward_pass_2``: x[i+1] = A x[i] + B u[i]
     """
-    A, B = ws.problem.A, ws.problem.B
-    Kinf = cache.Kinf
+    At, Bt = ws.problem.A.T, ws.problem.B.T
+    KinfT = cache.Kinf.T
+    x, u, d = ws.x, ws.u, ws.d
     for i in range(ws.horizon - 1):
-        ws.u[i] = -(Kinf @ ws.x[i]) - ws.d[i]
-        ws.x[i + 1] = A @ ws.x[i] + B @ ws.u[i]
+        u[..., i, :] = -(x[..., i, :] @ KinfT) - d[..., i, :]
+        x[..., i + 1, :] = x[..., i, :] @ At + u[..., i, :] @ Bt
 
 
 def backward_pass(ws: TinyMPCWorkspace, cache: LQRCache) -> None:
@@ -112,10 +121,12 @@ def backward_pass(ws: TinyMPCWorkspace, cache: LQRCache) -> None:
     ``backward_pass_2``: p[i] = q[i] + AmBKt p[i+1] - Kinf' r[i]
     """
     B = ws.problem.B
-    Quu_inv, AmBKt, Kinf = cache.Quu_inv, cache.AmBKt, cache.Kinf
+    Quu_invT, AmBKtT, Kinf = cache.Quu_inv.T, cache.AmBKt.T, cache.Kinf
+    p, d, q, r = ws.p, ws.d, ws.q, ws.r
     for i in range(ws.horizon - 2, -1, -1):
-        ws.d[i] = Quu_inv @ (B.T @ ws.p[i + 1] + ws.r[i])
-        ws.p[i] = ws.q[i] + AmBKt @ ws.p[i + 1] - Kinf.T @ ws.r[i]
+        d[..., i, :] = (p[..., i + 1, :] @ B + r[..., i, :]) @ Quu_invT
+        p[..., i, :] = (q[..., i, :] + p[..., i + 1, :] @ AmBKtT
+                        - r[..., i, :] @ Kinf)
 
 
 def update_slack(ws: TinyMPCWorkspace) -> None:
@@ -151,16 +162,31 @@ def update_linear_cost(ws: TinyMPCWorkspace, cache: LQRCache) -> None:
     ws.r[...] = -(ws.Uref @ problem.R) - rho * (ws.znew - ws.y)
     ws.q[...] = -(ws.Xref @ problem.Q)
     ws.q -= rho * (ws.vnew - ws.g)
-    ws.p[-1] = -(ws.Xref[-1] @ cache.Pinf) - rho * (ws.vnew[-1] - ws.g[-1])
+    ws.p[..., -1, :] = (-(ws.Xref[..., -1, :] @ cache.Pinf)
+                        - rho * (ws.vnew[..., -1, :] - ws.g[..., -1, :]))
+
+
+def _horizon_max_abs(difference: np.ndarray):
+    """Max |.| over the horizon and vector axes; per-instance for batches.
+
+    Returns a float for scalar ``(N, n)`` workspaces and a ``(B,)`` array for
+    batched ``(B, N, n)`` workspaces.
+    """
+    reduced = np.max(np.abs(difference), axis=(-2, -1))
+    return float(reduced) if reduced.ndim == 0 else reduced
 
 
 def compute_residuals(ws: TinyMPCWorkspace) -> Dict[str, float]:
-    """Global-maximum primal and dual residuals (Algorithm 3)."""
+    """Global-maximum primal and dual residuals (Algorithm 3).
+
+    On a batched workspace each residual is computed per instance, so the
+    four reduction kernels become length-``B`` vectors of maxima.
+    """
     rho = ws.problem.rho
-    ws.primal_residual_state = float(np.max(np.abs(ws.x - ws.vnew)))
-    ws.dual_residual_state = rho * float(np.max(np.abs(ws.v - ws.vnew)))
-    ws.primal_residual_input = float(np.max(np.abs(ws.u - ws.znew)))
-    ws.dual_residual_input = rho * float(np.max(np.abs(ws.z - ws.znew)))
+    ws.primal_residual_state = _horizon_max_abs(ws.x - ws.vnew)
+    ws.dual_residual_state = rho * _horizon_max_abs(ws.v - ws.vnew)
+    ws.primal_residual_input = _horizon_max_abs(ws.u - ws.znew)
+    ws.dual_residual_input = rho * _horizon_max_abs(ws.z - ws.znew)
     return ws.residuals()
 
 

@@ -11,12 +11,13 @@ comes from.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Optional
 
 import numpy as np
 
-__all__ = ["MPCProblem", "default_quadrotor_problem"]
+__all__ = ["MPCProblem", "default_quadrotor_problem", "problem_hash"]
 
 
 @dataclass
@@ -122,6 +123,24 @@ class MPCProblem:
             u_min=self.u_min, u_max=self.u_max,
             x_min=self.x_min, x_max=self.x_max,
             dt=self.dt, name=self.name)
+
+
+def problem_hash(problem: MPCProblem) -> str:
+    """Stable content hash of an MPC problem instance.
+
+    Hashes every array and scalar that affects solver behavior (dynamics,
+    costs, penalty, horizon, bounds, timestep) but not the display ``name``.
+    Used by :mod:`repro.experiments.runner` to key cached experiment results,
+    so results are invalidated whenever the underlying problem changes.
+    """
+    digest = hashlib.sha256()
+    for array in (problem.A, problem.B, problem.Q, problem.R,
+                  problem.u_min, problem.u_max, problem.x_min, problem.x_max):
+        digest.update(np.ascontiguousarray(array, dtype=np.float64).tobytes())
+    digest.update(np.float64(problem.rho).tobytes())
+    digest.update(np.float64(problem.dt).tobytes())
+    digest.update(np.int64(problem.horizon).tobytes())
+    return digest.hexdigest()
 
 
 def default_quadrotor_problem(horizon: int = 10, rho: float = 5.0,

@@ -24,7 +24,7 @@ from .kernels import (
     update_slack,
 )
 from .problem import MPCProblem
-from .workspace import TinyMPCWorkspace
+from .workspace import COLD_START_BUFFERS, TinyMPCWorkspace
 
 __all__ = ["SolverSettings", "TinyMPCSolution", "TinyMPCSolver"]
 
@@ -98,6 +98,14 @@ class TinyMPCSolver:
         When warm starting is enabled the previous solution's trajectories,
         slack, and dual variables are reused, which typically cuts the
         iteration count substantially once the reference changes slowly.
+
+        On return the workspace inputs ``ws.u`` are clipped to the input box
+        in place, so the returned :class:`TinyMPCSolution` and the warm-start
+        state carried into the next solve are the same (feasible) trajectory.
+        The clip never changes what the next solve computes — its first
+        forward pass rewrites ``u`` from ``x`` and ``d`` — but it keeps every
+        external reader of the workspace (snapshots, traced kernels, HIL
+        benchmarks) consistent with the solution the controller applied.
         """
         ws = self.workspace
         settings = self.settings
@@ -105,11 +113,8 @@ class TinyMPCSolver:
             self.set_reference(Xref, Uref)
         warm = settings.warm_start and self._has_previous_solution
         if not warm:
-            ws.reset_duals()
-            ws.d.fill(0.0)
-            ws.p.fill(0.0)
-            ws.q.fill(0.0)
-            ws.r.fill(0.0)
+            for name in COLD_START_BUFFERS:
+                getattr(ws, name).fill(0.0)
         ws.set_initial_state(x0)
 
         iterations = 0
@@ -133,9 +138,12 @@ class TinyMPCSolver:
         self._has_previous_solution = True
         self.total_iterations += iterations
         self.total_solves += 1
+        # Clip in place so the workspace carries the same feasible inputs the
+        # solution reports (see the docstring).
+        np.clip(ws.u, self.problem.u_min, self.problem.u_max, out=ws.u)
         return TinyMPCSolution(
             states=ws.x.copy(),
-            inputs=np.clip(ws.u, self.problem.u_min, self.problem.u_max),
+            inputs=ws.u.copy(),
             iterations=iterations,
             converged=converged,
             residuals=ws.residuals(),

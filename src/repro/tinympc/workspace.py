@@ -1,22 +1,61 @@
-"""Solver workspace for TinyMPC.
+"""Solver workspaces for TinyMPC (scalar and batched).
 
 The workspace holds every array the ADMM iterations touch.  Its layout
 mirrors the TinyMPC C implementation (state-major arrays over the horizon)
 and it is also the thing the Gemmini mapping pins into the scratchpad
 (paper Figure 8), so the buffer names here are reused by the residency
 planner in :mod:`repro.codegen`.
+
+Two layouts share one allocation path:
+
+* :class:`TinyMPCWorkspace` — one problem instance, arrays shaped
+  ``(N, n)`` / ``(N-1, m)``; this is what the C implementation stores.
+* :class:`BatchTinyMPCWorkspace` — ``B`` independent instances of the
+  same :class:`~repro.tinympc.problem.MPCProblem` structure, stacked into
+  ``(B, N, n)`` / ``(B, N-1, m)`` arrays so the kernels in
+  :mod:`repro.tinympc.kernels` run every instance with single vectorized
+  numpy calls.
+
+The kernels index horizon-adjacent slices as ``array[..., i, :]``, which
+works identically for both layouts — a batch dimension of one is the
+scalar solver.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import Dict, Tuple
 
 import numpy as np
 
 from .problem import MPCProblem
 
-__all__ = ["TinyMPCWorkspace"]
+__all__ = ["TinyMPCWorkspace", "BatchTinyMPCWorkspace", "WORKSPACE_BUFFERS",
+           "COLD_START_BUFFERS", "RESIDUAL_FIELDS"]
+
+
+# Every mutable horizon-indexed buffer, in scratchpad-layout order.  Shared
+# by reset/snapshot logic here and by the freeze/restore machinery in
+# :mod:`repro.tinympc.batch`.
+WORKSPACE_BUFFERS: Tuple[str, ...] = (
+    "x", "u", "q", "r", "p", "d", "v", "vnew", "z", "znew", "g", "y",
+    "Xref", "Uref",
+)
+
+# The subset that carries ADMM dual/slack state.
+_DUAL_BUFFERS: Tuple[str, ...] = ("v", "vnew", "z", "znew", "g", "y")
+
+# Everything a cold start zeroes: the dual/slack state plus the gradient
+# terms.  This is the single source of truth for both the scalar solver
+# (TinyMPCSolver.solve) and the batched solver (BatchTinyMPCSolver.solve) —
+# keep them in lockstep or their rtol=1e-10 equivalence contract breaks.
+COLD_START_BUFFERS: Tuple[str, ...] = _DUAL_BUFFERS + ("d", "p", "q", "r")
+
+RESIDUAL_FIELDS: Tuple[str, ...] = (
+    "primal_residual_state", "dual_residual_state",
+    "primal_residual_input", "dual_residual_input",
+)
+
 
 
 @dataclass
@@ -48,7 +87,7 @@ class TinyMPCWorkspace:
     # references
     Xref: np.ndarray = field(init=False)
     Uref: np.ndarray = field(init=False)
-    # residuals
+    # residuals (floats here; per-instance (B,) arrays in the batched subclass)
     primal_residual_state: float = field(init=False, default=np.inf)
     dual_residual_state: float = field(init=False, default=np.inf)
     primal_residual_input: float = field(init=False, default=np.inf)
@@ -58,22 +97,29 @@ class TinyMPCWorkspace:
         n = self.problem.state_dim
         m = self.problem.input_dim
         N = self.problem.horizon
-        self.x = np.zeros((N, n))
-        self.u = np.zeros((N - 1, m))
-        self.q = np.zeros((N, n))
-        self.r = np.zeros((N - 1, m))
-        self.p = np.zeros((N, n))
-        self.d = np.zeros((N - 1, m))
-        self.v = np.zeros((N, n))
-        self.vnew = np.zeros((N, n))
-        self.z = np.zeros((N - 1, m))
-        self.znew = np.zeros((N - 1, m))
-        self.g = np.zeros((N, n))
-        self.y = np.zeros((N - 1, m))
-        self.Xref = np.zeros((N, n))
-        self.Uref = np.zeros((N - 1, m))
+        lead = self.lead_shape
+        self.x = np.zeros(lead + (N, n))
+        self.u = np.zeros(lead + (N - 1, m))
+        self.q = np.zeros(lead + (N, n))
+        self.r = np.zeros(lead + (N - 1, m))
+        self.p = np.zeros(lead + (N, n))
+        self.d = np.zeros(lead + (N - 1, m))
+        self.v = np.zeros(lead + (N, n))
+        self.vnew = np.zeros(lead + (N, n))
+        self.z = np.zeros(lead + (N - 1, m))
+        self.znew = np.zeros(lead + (N - 1, m))
+        self.g = np.zeros(lead + (N, n))
+        self.y = np.zeros(lead + (N - 1, m))
+        self.Xref = np.zeros(lead + (N, n))
+        self.Uref = np.zeros(lead + (N - 1, m))
+        self._reset_residuals()
 
     # -- dimensions ----------------------------------------------------------
+    @property
+    def lead_shape(self) -> Tuple[int, ...]:
+        """Leading (batch) shape prepended to every buffer; ``()`` here."""
+        return ()
+
     @property
     def state_dim(self) -> int:
         return self.problem.state_dim
@@ -87,19 +133,19 @@ class TinyMPCWorkspace:
         return self.problem.horizon
 
     # -- lifecycle ------------------------------------------------------------
+    def _reset_residuals(self) -> None:
+        for name in RESIDUAL_FIELDS:
+            setattr(self, name, np.inf)
+
     def reset(self) -> None:
         """Zero all trajectories, slacks, duals, and references."""
-        for name in ("x", "u", "q", "r", "p", "d", "v", "vnew", "z", "znew",
-                     "g", "y", "Xref", "Uref"):
+        for name in WORKSPACE_BUFFERS:
             getattr(self, name).fill(0.0)
-        self.primal_residual_state = np.inf
-        self.dual_residual_state = np.inf
-        self.primal_residual_input = np.inf
-        self.dual_residual_input = np.inf
+        self._reset_residuals()
 
     def reset_duals(self) -> None:
         """Zero only the dual/slack state (used on cold starts)."""
-        for name in ("v", "vnew", "z", "znew", "g", "y"):
+        for name in _DUAL_BUFFERS:
             getattr(self, name).fill(0.0)
 
     def set_initial_state(self, x0: np.ndarray) -> None:
@@ -130,20 +176,98 @@ class TinyMPCWorkspace:
                    self.primal_residual_input, self.dual_residual_input)
 
     def residuals(self) -> Dict[str, float]:
-        return {
-            "primal_residual_state": self.primal_residual_state,
-            "dual_residual_state": self.dual_residual_state,
-            "primal_residual_input": self.primal_residual_input,
-            "dual_residual_input": self.dual_residual_input,
-        }
+        return {name: getattr(self, name) for name in RESIDUAL_FIELDS}
 
     # -- snapshots (for tests/benchmarks) -----------------------------------------
     def snapshot(self) -> Dict[str, np.ndarray]:
         """Deep copy of every array, keyed by buffer name."""
-        return {name: getattr(self, name).copy()
-                for name in ("x", "u", "q", "r", "p", "d", "v", "vnew", "z",
-                             "znew", "g", "y", "Xref", "Uref")}
+        return {name: getattr(self, name).copy() for name in WORKSPACE_BUFFERS}
 
     def load_snapshot(self, snapshot: Dict[str, np.ndarray]) -> None:
         for name, value in snapshot.items():
             getattr(self, name)[...] = value
+
+
+@dataclass
+class BatchTinyMPCWorkspace(TinyMPCWorkspace):
+    """Solver state for ``B`` stacked instances of one MPC problem.
+
+    Every buffer gains a leading batch axis — states are ``(B, N, n)`` and
+    inputs ``(B, N-1, m)`` — and the four residual fields become ``(B,)``
+    arrays holding per-instance values.
+    """
+
+    batch: int = 1
+
+    def __post_init__(self) -> None:
+        if self.batch < 1:
+            raise ValueError("batch must be at least 1")
+        super().__post_init__()
+
+    @property
+    def lead_shape(self) -> Tuple[int, ...]:
+        return (self.batch,)
+
+    def _reset_residuals(self) -> None:
+        for name in RESIDUAL_FIELDS:
+            setattr(self, name, np.full(self.batch, np.inf))
+
+    def set_initial_state(self, x0: np.ndarray) -> None:
+        """Set the batch of initial states from a ``(B, n)`` array.
+
+        A single ``(n,)`` state is broadcast to every instance.
+        """
+        x0 = np.asarray(x0, dtype=np.float64)
+        if x0.ndim == 1:
+            x0 = np.tile(x0, (self.batch, 1))
+        if x0.shape != (self.batch, self.state_dim):
+            raise ValueError("x0 must have shape ({}, {})".format(
+                self.batch, self.state_dim))
+        self.x[:, 0, :] = x0
+
+    def set_reference(self, Xref: np.ndarray, Uref: np.ndarray = None) -> None:
+        """Set tracking references, broadcasting shared shapes.
+
+        Accepted ``Xref`` shapes (``Uref`` is analogous with ``N-1`` and ``m``):
+
+        * ``(n,)`` — one goal state shared by every instance and knot point,
+        * ``(N, n)`` — one trajectory shared by every instance,
+        * ``(B, n)`` — a per-instance goal state broadcast over the horizon,
+        * ``(B, N, n)`` — fully per-instance trajectories.
+
+        When ``B == N`` a 2-D array is interpreted as the shared-trajectory
+        case; pass the explicit 3-D shape to disambiguate.
+        """
+        self.Xref[...] = self._broadcast_reference(
+            Xref, self.horizon, self.state_dim, "Xref")
+        if Uref is not None:
+            self.Uref[...] = self._broadcast_reference(
+                Uref, self.horizon - 1, self.input_dim, "Uref")
+
+    def _broadcast_reference(self, ref: np.ndarray, length: int, width: int,
+                             name: str) -> np.ndarray:
+        ref = np.asarray(ref, dtype=np.float64)
+        if ref.ndim == 1 and ref.shape == (width,):
+            return np.broadcast_to(ref, (self.batch, length, width))
+        if ref.ndim == 2 and ref.shape == (length, width):
+            return np.broadcast_to(ref, (self.batch, length, width))
+        if ref.ndim == 2 and ref.shape == (self.batch, width):
+            return np.broadcast_to(ref[:, None, :], (self.batch, length, width))
+        if ref.shape == (self.batch, length, width):
+            return ref
+        raise ValueError(
+            "{} must have shape ({w},), ({l}, {w}), ({b}, {w}), or "
+            "({b}, {l}, {w}); got {s}".format(
+                name, w=width, l=length, b=self.batch, s=ref.shape))
+
+    # -- per-instance views -----------------------------------------------------
+    def instance_snapshot(self, index: int) -> Dict[str, np.ndarray]:
+        """Deep copy of one instance's buffers (scalar-workspace shapes)."""
+        return {name: getattr(self, name)[index].copy()
+                for name in WORKSPACE_BUFFERS}
+
+    @property
+    def max_residual(self) -> np.ndarray:
+        """Per-instance worst residual, shape ``(B,)``."""
+        return np.max(np.stack([getattr(self, name)
+                                for name in RESIDUAL_FIELDS]), axis=0)

@@ -120,6 +120,56 @@ class TestWarmStarting:
         assert solver.total_solves == 3
         assert solver.average_iterations > 0
 
+    def test_reset_clears_dual_state(self, quadrotor_problem):
+        """reset() must zero the dual/slack iterates, not just the flag."""
+        solver = TinyMPCSolver(quadrotor_problem, SolverSettings(max_iterations=30))
+        x0 = np.zeros(12)
+        x0[0:3] = [0.4, -0.3, 0.2]
+        solver.solve(x0, np.zeros(12))
+        ws = solver.workspace
+        assert np.any(ws.y) or np.any(ws.g)   # duals moved during the solve
+        solver.reset()
+        for name in ("v", "vnew", "z", "znew", "g", "y"):
+            assert not np.any(getattr(ws, name)), name
+
+    def test_warm_start_reuses_iterates_on_moving_reference(self, quadrotor_problem):
+        """A slowly-moving reference keeps warm solves cheaper than cold ones."""
+        settings = SolverSettings(max_iterations=100, warm_start=True,
+                                  abs_primal_tolerance=1e-4,
+                                  abs_dual_tolerance=1e-4)
+        warm_solver = TinyMPCSolver(quadrotor_problem, settings)
+        cold_solver = TinyMPCSolver(quadrotor_problem, SolverSettings(
+            max_iterations=100, warm_start=False,
+            abs_primal_tolerance=1e-4, abs_dual_tolerance=1e-4))
+        x0 = np.zeros(12)
+        x0[0] = 0.3
+        goal = np.zeros(12)
+        warm_iterations = []
+        cold_iterations = []
+        for step in range(5):
+            goal[0] = 0.01 * step        # reference creeps along x
+            warm_iterations.append(warm_solver.solve(x0, goal).iterations)
+            cold_iterations.append(cold_solver.solve(x0, goal).iterations)
+        # After the first (cold) solve, warm solves reuse the previous
+        # iterates and need strictly fewer iterations than cold restarts.
+        assert sum(warm_iterations[1:]) < sum(cold_iterations[1:])
+        # The carried iterates really are reused: the cost-to-go gradient p
+        # is non-zero going into the next warm solve (a cold start zeroes it).
+        assert np.any(warm_solver.workspace.p)
+
+
+class TestInputClipping:
+    def test_workspace_matches_returned_inputs(self, quadrotor_problem):
+        """After solve() the warm-start workspace carries exactly the clipped
+        inputs the solution reports (the documented consistency contract)."""
+        solver = TinyMPCSolver(quadrotor_problem, SolverSettings(max_iterations=5))
+        x0 = np.zeros(12)
+        x0[0:3] = [1.5, -1.5, 0.8]      # large offset forces saturation
+        solution = solver.solve(x0, np.zeros(12))
+        np.testing.assert_array_equal(solver.workspace.u, solution.inputs)
+        assert np.all(solver.workspace.u <= quadrotor_problem.u_max + 1e-12)
+        assert np.all(solver.workspace.u >= quadrotor_problem.u_min - 1e-12)
+
 
 class TestSolutionObject:
     def test_control_is_first_input(self, quadrotor_problem):
