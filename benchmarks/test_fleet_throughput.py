@@ -1,0 +1,70 @@
+"""Throughput of the fleet campaign engine vs sequential episode loops.
+
+The fleet scheduler exists because heterogeneous HIL sweeps — the paper's
+Figure 16/18 grids and anything bigger — used to fall back to one scalar
+solve per control tick per episode.  This benchmark flies a *mixed*
+32-episode campaign (2 difficulties x 8 seeds x 2 clock frequencies, so the
+old lockstep runner could not have batched it as one grid) both ways and
+asserts the event-driven dynamic batcher delivers at least 3x the
+throughput of sequential :meth:`HILLoop.run_scenario` loops, while
+reproducing every discrete per-episode outcome exactly.
+"""
+
+import time
+
+from repro.drone import generate_scenario
+from repro.fleet import CampaignSpec, run_campaign
+from repro.hil import HILLoop
+
+CAMPAIGN = CampaignSpec(
+    name="throughput", difficulties=("easy", "medium"),
+    seeds=tuple(range(8)), frequencies_mhz=(100.0, 250.0))
+
+
+def test_fleet_campaign_at_least_3x(show_rows):
+    episodes = CAMPAIGN.expand()
+    assert len(episodes) == 32
+
+    # Sequential reference: one run_scenario per episode, loops (and their
+    # compiled SoC models) built outside the timed region.
+    loops = {}
+    for spec in episodes:
+        key = (spec.implementation, spec.frequency_mhz)
+        if key not in loops:
+            loops[key] = HILLoop(spec.hil_config())
+    scenarios = [generate_scenario(spec.difficulty, spec.seed)
+                 for spec in episodes]
+
+    start = time.perf_counter()
+    sequential = [loops[(spec.implementation, spec.frequency_mhz)].run_scenario(scenario)
+                  for spec, scenario in zip(episodes, scenarios)]
+    sequential_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    outcome = run_campaign(CAMPAIGN)
+    fleet_seconds = time.perf_counter() - start
+
+    # Same flights on both paths: every discrete outcome must agree.
+    for reference, result in zip(sequential, outcome.results):
+        assert result.success == reference.success
+        assert result.crashed == reference.crashed
+        assert result.solve_iterations == reference.solve_iterations
+        assert result.flight_time_s == reference.flight_time_s
+
+    speedup = sequential_seconds / fleet_seconds
+    show_rows("Fleet campaign throughput (32 mixed episodes)", [{
+        "variant": "sequential run_scenario loop",
+        "seconds": sequential_seconds,
+        "episodes_per_second": len(episodes) / sequential_seconds,
+        "speedup": 1.0,
+    }, {
+        "variant": "fleet scheduler (dynamic batching)",
+        "seconds": fleet_seconds,
+        "episodes_per_second": len(episodes) / fleet_seconds,
+        "speedup": speedup,
+    }])
+    assert outcome.stats.mean_batch_width > 8.0, \
+        "dynamic batcher failed to pack the grid (mean width {:.1f})".format(
+            outcome.stats.mean_batch_width)
+    assert speedup >= 3.0, \
+        "fleet engine only {:.1f}x faster than sequential episodes".format(speedup)

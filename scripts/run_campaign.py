@@ -1,0 +1,125 @@
+#!/usr/bin/env python
+"""Run a fleet campaign from the command line.
+
+Expands a cross-product grid of HIL episodes, runs it through the fleet
+campaign engine (event-driven dynamic batching, optional process sharding),
+and prints per-cell aggregate rows.  Examples::
+
+    # 2 difficulties x 8 seeds x 2 clock frequencies, in-process
+    PYTHONPATH=src python scripts/run_campaign.py \\
+        --difficulties easy,medium --seeds 8 --frequencies 100,250
+
+    # same grid sharded over 4 worker processes, JSON output
+    PYTHONPATH=src python scripts/run_campaign.py \\
+        --difficulties easy,medium --seeds 8 --frequencies 100,250 \\
+        --workers 4 --output campaign.json
+
+Exit status is non-zero when the campaign produced no aggregate rows, so
+CI smoke jobs can assert liveness with a plain shell invocation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.experiments import format_rows                    # noqa: E402
+from repro.fleet import CampaignSpec, run_campaign           # noqa: E402
+
+
+def _csv(value: str):
+    return [item for item in value.split(",") if item]
+
+
+def _float_csv(value: str):
+    return [float(item) for item in _csv(value)]
+
+
+def _int_csv(value: str):
+    return [int(item) for item in _csv(value)]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        description="Run a fleet campaign of HIL episodes.")
+    parser.add_argument("--name", default="cli-campaign")
+    parser.add_argument("--difficulties", type=_csv, default=["easy"],
+                        help="comma-separated: easy,medium,hard")
+    parser.add_argument("--seeds", type=int, default=4,
+                        help="number of scenario seeds per cell (0..N-1)")
+    parser.add_argument("--base-seed", type=int, default=0,
+                        help="first scenario seed")
+    parser.add_argument("--implementations", type=_csv, default=["vector"],
+                        help="comma-separated: scalar,vector,ideal,...")
+    parser.add_argument("--frequencies", type=_float_csv, default=[100.0],
+                        help="comma-separated clock frequencies in MHz")
+    parser.add_argument("--variants", type=_csv, default=["CrazyFlie"],
+                        help="comma-separated drone variants")
+    parser.add_argument("--control-rates", type=_float_csv, default=[100.0],
+                        help="comma-separated control rates in Hz")
+    parser.add_argument("--max-iterations", type=_int_csv, default=[10],
+                        help="comma-separated ADMM iteration caps")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="worker processes (1 = in-process)")
+    parser.add_argument("--max-batch", type=int, default=None,
+                        help="cap on batched solver width per group")
+    parser.add_argument("--no-batching", action="store_true",
+                        help="force the scalar (bit-for-bit reference) path")
+    parser.add_argument("--output", default=None,
+                        help="write campaign JSON (spec, rows, stats) here")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress the table on stdout")
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    spec = CampaignSpec(
+        name=args.name,
+        difficulties=tuple(args.difficulties),
+        seeds=tuple(range(args.base_seed, args.base_seed + args.seeds)),
+        implementations=tuple(args.implementations),
+        frequencies_mhz=tuple(args.frequencies),
+        variants=tuple(args.variants),
+        control_rates_hz=tuple(args.control_rates),
+        max_admm_iterations=tuple(args.max_iterations),
+    )
+    if not args.quiet:
+        print(spec.describe())
+    start = time.perf_counter()
+    outcome = run_campaign(spec, workers=args.workers,
+                           batching=not args.no_batching,
+                           max_batch=args.max_batch)
+    elapsed = time.perf_counter() - start
+    rows = outcome.rows()
+
+    if not args.quiet:
+        print(format_rows(rows))
+        summary = outcome.overall()
+        print("\n{} episodes in {:.2f}s ({:.1f} episodes/s) | "
+              "success rate {:.1%} | {} dispatches, mean batch width {:.1f}"
+              .format(summary["episodes"], elapsed,
+                      summary["episodes"] / elapsed if elapsed else 0.0,
+                      summary["success_rate"], summary["dispatches"],
+                      summary["mean_batch_width"]))
+    if args.output:
+        payload = {
+            "campaign": spec.to_dict(),
+            "elapsed_s": elapsed,
+            "rows": rows,
+            "overall": outcome.overall(),
+        }
+        with open(args.output, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+        if not args.quiet:
+            print("wrote {}".format(args.output))
+    return 0 if rows else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -18,6 +18,7 @@ time comes and the controller must re-plan online.
 from __future__ import annotations
 
 import enum
+import hashlib
 import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -97,6 +98,20 @@ class Scenario:
         return self.total_path_length() / len(self.waypoints)
 
 
+def _scenario_rng(difficulty: Difficulty, seed: int) -> np.random.Generator:
+    """Deterministic per-scenario RNG, stable across processes and platforms.
+
+    Python's builtin ``hash`` is salted by ``PYTHONHASHSEED``, so seeding
+    numpy with ``hash((difficulty.value, seed))`` generated *different*
+    scenarios in every interpreter — fatal for sharded fleet campaigns and
+    cached experiment results.  A sha256 digest of the identifying pair is
+    stable everywhere.
+    """
+    digest = hashlib.sha256(
+        "scenario:{}:{}".format(difficulty.value, seed).encode()).digest()
+    return np.random.default_rng(int.from_bytes(digest[:8], "little"))
+
+
 def _random_direction(rng: np.random.Generator) -> np.ndarray:
     """A random unit vector with a bounded vertical component.
 
@@ -117,7 +132,7 @@ def generate_scenario(difficulty: Difficulty, seed: int,
                       ) -> Scenario:
     """Generate one reproducible waypoint scenario for a difficulty level."""
     spec = DIFFICULTY_SPECS[difficulty]
-    rng = np.random.default_rng(hash((difficulty.value, seed)) % (2 ** 32))
+    rng = _scenario_rng(difficulty, seed)
     position = np.array(start_position, dtype=np.float64)
     waypoints: List[Waypoint] = []
     for index in range(spec.waypoint_count):

@@ -19,6 +19,7 @@ from .gemmini_experiments import (
     fig12_engine_ablation,
 )
 from .pareto_experiments import fig10_pareto, pareto_frontier
+from .fleet_experiments import fleet_campaign
 from .hil_experiments import (
     fig15_scenarios,
     fig16_hil_sweep,
@@ -53,6 +54,7 @@ __all__ = [
     "fig12_engine_ablation",
     "fig10_pareto",
     "pareto_frontier",
+    "fleet_campaign",
     "fig15_scenarios",
     "fig16_hil_sweep",
     "fig17_disturbance_recovery",

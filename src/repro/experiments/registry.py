@@ -11,7 +11,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, List
 
-from . import gemmini_experiments, hil_experiments, kernel_experiments, pareto_experiments
+from . import (
+    fleet_experiments,
+    gemmini_experiments,
+    hil_experiments,
+    kernel_experiments,
+    pareto_experiments,
+)
 
 __all__ = ["Experiment", "EXPERIMENTS", "run_experiment", "list_experiments",
            "format_rows"]
@@ -63,6 +69,8 @@ EXPERIMENTS: Dict[str, Experiment] = {
                    hil_experiments.fig17_disturbance_recovery, "5.2"),
         Experiment("fig18", "SWaP variant success and power",
                    hil_experiments.fig18_swap_variants, "5.4"),
+        Experiment("fleet_campaign", "Fleet campaign: mixed-configuration HIL grid",
+                   fleet_experiments.fleet_campaign, "5.2 / north star"),
         Experiment("sec43", "Automated code-generation cycle counts",
                    kernel_experiments.sec43_codegen_cycles, "4.3"),
         Experiment("sec53", "Concurrent MPC + DroNet tasks",

@@ -50,10 +50,12 @@ __all__ = ["ExperimentRunner", "BATCH_ROUTED_EXPERIMENTS", "run_cached",
 
 # Experiments that accept a ``batched`` keyword; the runner turns batching on
 # by default for these (callers can still pass batched=False explicitly).
-BATCH_ROUTED_EXPERIMENTS = ("fig16", "fig18")
+BATCH_ROUTED_EXPERIMENTS = ("fig16", "fig18", "fleet_campaign")
 
 # Bump to invalidate every existing cache entry when driver semantics change.
-_CACHE_VERSION = 2
+# v3: sha256-seeded scenario generation + scalar-form Quadrotor.derivatives
+# changed HIL episode trajectories without touching the MPC problem hashes.
+_CACHE_VERSION = 3
 
 
 def _jsonable(value) -> bool:

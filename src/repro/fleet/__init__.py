@@ -1,0 +1,54 @@
+"""Fleet campaign engine: event-driven dynamic batching over HIL episodes.
+
+The north-star workload is fleet-scale serving of closed-loop MPC episodes
+— "as many scenarios as you can imagine".  This package turns heterogeneous
+episode grids (difficulty x seed x clock frequency x drone variant x solver
+settings) into batched solver work:
+
+* :mod:`repro.fleet.campaign` — the declarative :class:`CampaignSpec` DSL
+  and the memoizing :class:`EpisodeFactory`;
+* :mod:`repro.fleet.scheduler` — the virtual-time :class:`FleetScheduler`
+  that packs compatible solve requests into
+  :class:`~repro.tinympc.batch.BatchTinyMPCSolver` dispatches;
+* :mod:`repro.fleet.workers` — :func:`run_campaign`, in-process or sharded
+  across processes with deterministic partitioning;
+* :mod:`repro.fleet.aggregate` — streaming per-cell statistics with bounded
+  memory.
+
+Quick example::
+
+    from repro.fleet import CampaignSpec, run_campaign
+
+    spec = CampaignSpec(difficulties=("easy", "medium"), seeds=range(8),
+                        frequencies_mhz=(100.0, 250.0))
+    outcome = run_campaign(spec, workers=2)
+    for row in outcome.rows():
+        print(row)
+"""
+
+from .aggregate import CellAggregate, FleetAggregator, ReservoirSamples
+from .campaign import CELL_AXES, CampaignSpec, EpisodeFactory, EpisodeSpec
+from .scheduler import (
+    FleetEpisode,
+    FleetScheduler,
+    SchedulerStats,
+    compatibility_key,
+)
+from .workers import CampaignResult, run_campaign, shard_indices
+
+__all__ = [
+    "CellAggregate",
+    "FleetAggregator",
+    "ReservoirSamples",
+    "CELL_AXES",
+    "CampaignSpec",
+    "EpisodeFactory",
+    "EpisodeSpec",
+    "FleetEpisode",
+    "FleetScheduler",
+    "SchedulerStats",
+    "compatibility_key",
+    "CampaignResult",
+    "run_campaign",
+    "shard_indices",
+]

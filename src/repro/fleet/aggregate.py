@@ -1,0 +1,221 @@
+"""Streaming campaign aggregation: bounded memory over unbounded fleets.
+
+A fleet campaign can fly tens of thousands of episodes; holding every
+trajectory (or even every :class:`~repro.hil.metrics.ScenarioResult`) in
+memory defeats the point of sharding.  :class:`FleetAggregator` consumes
+results one at a time, keeps only O(cells x cap) scalars, and still reports
+success rates, tracking-error percentiles, power statistics, and solve-time
+latency percentiles per aggregate *cell* (one configuration of every axis
+except the scenario seed).
+
+Per-metric sample sets are bounded by deterministic stride decimation
+(:class:`ReservoirSamples`): once a cell's sample list exceeds its cap, every
+other retained sample is dropped and the keep-stride doubles.  Percentiles
+over a decimated set are approximations with bounded, deterministic error;
+campaigns smaller than the cap (the common case for per-cell metrics) are
+exact.  Aggregators merge across worker shards with
+:meth:`FleetAggregator.merge`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..hil.metrics import ScenarioResult
+from .campaign import CELL_AXES
+
+__all__ = ["ReservoirSamples", "CellAggregate", "FleetAggregator"]
+
+
+class ReservoirSamples:
+    """Bounded sample list with deterministic stride decimation."""
+
+    __slots__ = ("cap", "stride", "values", "_skip", "count")
+
+    def __init__(self, cap: int = 4096) -> None:
+        if cap < 2:
+            raise ValueError("cap must be at least 2")
+        self.cap = cap
+        self.stride = 1          # keep every stride-th offered sample
+        self.values: List[float] = []
+        self._skip = 0           # offered samples to skip before the next keep
+        self.count = 0           # total samples offered
+
+    def add(self, value: float) -> None:
+        self.count += 1
+        if self._skip > 0:
+            self._skip -= 1
+            return
+        self.values.append(float(value))
+        self._skip = self.stride - 1
+        if len(self.values) > self.cap:
+            self._coarsen()
+
+    def _coarsen(self) -> None:
+        self.values = self.values[::2]
+        self.stride *= 2
+
+    def extend(self, values) -> None:
+        for value in values:
+            self.add(value)
+
+    def percentile(self, q: float) -> float:
+        if not self.values:
+            return float("nan")
+        return float(np.percentile(self.values, q))
+
+    def merge(self, other: "ReservoirSamples") -> "ReservoirSamples":
+        """Fold another reservoir in, aligning strides before concatenating."""
+        mine, theirs = self, other
+        values = list(theirs.values)
+        stride = theirs.stride
+        while stride < mine.stride:
+            values = values[::2]
+            stride *= 2
+        while mine.stride < stride:
+            mine._coarsen()
+        mine.values.extend(values)
+        mine.count += theirs.count
+        while len(mine.values) > mine.cap:
+            mine._coarsen()
+        return mine
+
+
+@dataclass
+class CellAggregate:
+    """Running statistics for one aggregate cell."""
+
+    key: Tuple
+    sample_cap: int = 4096
+    episodes: int = 0
+    successes: int = 0
+    crashes: int = 0
+    sum_actuation_power: float = 0.0
+    sum_soc_power: float = 0.0
+    sum_total_power: float = 0.0
+    sum_flight_time: float = 0.0
+    sum_iterations: int = 0
+    solve_count: int = 0
+    tracking_errors: ReservoirSamples = field(default=None)
+    total_powers: ReservoirSamples = field(default=None)
+    solve_times: ReservoirSamples = field(default=None)
+
+    def __post_init__(self) -> None:
+        if self.tracking_errors is None:
+            self.tracking_errors = ReservoirSamples(self.sample_cap)
+        if self.total_powers is None:
+            self.total_powers = ReservoirSamples(self.sample_cap)
+        if self.solve_times is None:
+            self.solve_times = ReservoirSamples(self.sample_cap)
+
+    def add(self, result: ScenarioResult) -> None:
+        self.episodes += 1
+        self.successes += 1 if result.success else 0
+        self.crashes += 1 if result.crashed else 0
+        self.sum_actuation_power += result.actuation_power_w
+        self.sum_soc_power += result.soc_power_w
+        self.sum_total_power += result.total_power_w
+        self.sum_flight_time += result.flight_time_s
+        self.sum_iterations += int(sum(result.solve_iterations))
+        self.solve_count += len(result.solve_iterations)
+        self.tracking_errors.add(result.final_distance)
+        self.total_powers.add(result.total_power_w)
+        self.solve_times.extend(result.solve_times)
+
+    def merge(self, other: "CellAggregate") -> "CellAggregate":
+        if other.key != self.key:
+            raise ValueError("cannot merge cells with different keys")
+        self.episodes += other.episodes
+        self.successes += other.successes
+        self.crashes += other.crashes
+        self.sum_actuation_power += other.sum_actuation_power
+        self.sum_soc_power += other.sum_soc_power
+        self.sum_total_power += other.sum_total_power
+        self.sum_flight_time += other.sum_flight_time
+        self.sum_iterations += other.sum_iterations
+        self.solve_count += other.solve_count
+        self.tracking_errors.merge(other.tracking_errors)
+        self.total_powers.merge(other.total_powers)
+        self.solve_times.merge(other.solve_times)
+        return self
+
+    @property
+    def success_rate(self) -> float:
+        return self.successes / self.episodes if self.episodes else 0.0
+
+    def as_row(self) -> Dict[str, object]:
+        # CELL_AXES is the documented column order of EpisodeSpec.cell_key().
+        row: Dict[str, object] = dict(zip(CELL_AXES, self.key))
+        episodes = max(self.episodes, 1)
+        row.update({
+            "episodes": self.episodes,
+            "success_rate": self.success_rate,
+            "crash_rate": self.crashes / episodes,
+            "tracking_error_p50_m": self.tracking_errors.percentile(50.0),
+            "tracking_error_p90_m": self.tracking_errors.percentile(90.0),
+            "solve_time_p50_ms": self.solve_times.percentile(50.0) * 1e3,
+            "solve_time_p99_ms": self.solve_times.percentile(99.0) * 1e3,
+            "mean_actuation_power_w": self.sum_actuation_power / episodes,
+            "mean_soc_power_w": self.sum_soc_power / episodes,
+            "mean_total_power_w": self.sum_total_power / episodes,
+            "total_power_p90_w": self.total_powers.percentile(90.0),
+            "mean_iterations": (self.sum_iterations / self.solve_count
+                                if self.solve_count else 0.0),
+        })
+        return row
+
+
+class FleetAggregator:
+    """Streaming aggregation of campaign results into per-cell statistics."""
+
+    def __init__(self, sample_cap: int = 4096) -> None:
+        self.sample_cap = sample_cap
+        self.cells: Dict[Tuple, CellAggregate] = {}
+
+    def add(self, result: ScenarioResult, key: Optional[Tuple] = None) -> None:
+        """Consume one episode result.
+
+        ``key`` is the aggregate cell (``EpisodeSpec.cell_key()``); when the
+        result does not come from a campaign, a key is derived from the
+        result's own fields (variant/control-rate/iteration axes unknown).
+        """
+        if key is None:
+            key = (result.scenario.difficulty.value, result.implementation,
+                   result.frequency_mhz, "-", 0.0, 0)
+        cell = self.cells.get(key)
+        if cell is None:
+            cell = CellAggregate(key=key, sample_cap=self.sample_cap)
+            self.cells[key] = cell
+        cell.add(result)
+
+    def merge(self, other: "FleetAggregator") -> "FleetAggregator":
+        for key, cell in other.cells.items():
+            if key in self.cells:
+                self.cells[key].merge(cell)
+            else:
+                self.cells[key] = cell
+        return self
+
+    @property
+    def episodes(self) -> int:
+        return sum(cell.episodes for cell in self.cells.values())
+
+    def rows(self) -> List[Dict[str, object]]:
+        """One row per cell, sorted by cell key for stable output."""
+        return [self.cells[key].as_row()
+                for key in sorted(self.cells, key=lambda k: tuple(map(str, k)))]
+
+    def overall(self) -> Dict[str, object]:
+        """Campaign-level summary across every cell."""
+        episodes = self.episodes
+        successes = sum(cell.successes for cell in self.cells.values())
+        crashes = sum(cell.crashes for cell in self.cells.values())
+        return {
+            "cells": len(self.cells),
+            "episodes": episodes,
+            "success_rate": successes / episodes if episodes else 0.0,
+            "crash_rate": crashes / episodes if episodes else 0.0,
+        }

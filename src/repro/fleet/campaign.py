@@ -1,0 +1,267 @@
+"""Declarative campaign specs: cross-product grids of heterogeneous episodes.
+
+A *campaign* is the fleet-scale unit of work: thousands of closed-loop HIL
+episodes spanning scenario difficulties, seeds, clock frequencies, drone
+variants, software implementations, control rates, and solver settings —
+the axes of the paper's system-level sweeps (Figures 15-18) and anything
+beyond them.  :class:`CampaignSpec` expands the grid into deterministic
+:class:`EpisodeSpec` rows; :class:`EpisodeFactory` turns each row into a
+runnable :class:`~repro.fleet.scheduler.FleetEpisode`, memoizing the
+expensive per-configuration artifacts (linearized MPC problems, LQR caches,
+compiled SoC timing models) so a 10,000-episode campaign compiles each
+distinct configuration exactly once.
+
+Expansion order is the documented public contract: axes nest in the order
+``difficulty > seed > implementation > frequency > variant > control rate >
+max iterations``, so episode index ``i`` always means the same episode —
+that is what makes sharded runs (:mod:`repro.fleet.workers`) and cached
+campaign rows reproducible.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, fields
+from typing import Dict, List, Optional, Tuple, Union
+
+from ..drone import Difficulty, all_variants, generate_scenario
+from ..hil.episode import EpisodeRunner
+from ..hil.loop import HILConfig, build_variant_problem
+from ..hil.soc import SOFTWARE_IMPLEMENTATIONS, SoCModel
+from ..tinympc import SolverSettings
+from ..tinympc.cache import compute_cache
+from .scheduler import FleetEpisode
+
+__all__ = ["EpisodeSpec", "CampaignSpec", "EpisodeFactory", "CELL_AXES"]
+
+
+# The configuration axes (everything but the seed) that define an aggregate
+# cell: episodes differing only by seed are repetitions of one cell.
+CELL_AXES: Tuple[str, ...] = ("difficulty", "implementation", "frequency_mhz",
+                              "variant", "control_rate_hz",
+                              "max_admm_iterations")
+
+
+@dataclass(frozen=True)
+class EpisodeSpec:
+    """One fully-determined episode of a campaign."""
+
+    difficulty: Difficulty
+    seed: int
+    implementation: str = "vector"
+    frequency_mhz: float = 100.0
+    variant: str = "CrazyFlie"
+    control_rate_hz: float = 100.0
+    max_admm_iterations: int = 10
+    physics_dt: float = 0.002
+    waypoint_tolerance: float = 0.20
+
+    def hil_config(self) -> HILConfig:
+        return HILConfig(
+            implementation=self.implementation,
+            frequency_mhz=self.frequency_mhz,
+            control_rate_hz=self.control_rate_hz,
+            physics_dt=self.physics_dt,
+            max_admm_iterations=self.max_admm_iterations,
+            waypoint_tolerance=self.waypoint_tolerance,
+        )
+
+    def cell_key(self) -> Tuple:
+        """The aggregate cell this episode belongs to (all axes but seed)."""
+        return (self.difficulty.value, self.implementation, self.frequency_mhz,
+                self.variant, self.control_rate_hz, self.max_admm_iterations)
+
+    def label(self) -> str:
+        return "{}/s{}/{}@{:g}MHz/{}/{:g}Hz".format(
+            self.difficulty.value, self.seed, self.implementation,
+            self.frequency_mhz, self.variant, self.control_rate_hz)
+
+
+def _as_difficulty(value: Union[Difficulty, str]) -> Difficulty:
+    return value if isinstance(value, Difficulty) else Difficulty(value)
+
+
+def _tuple(values) -> Tuple:
+    if isinstance(values, (str, int, float)):
+        return (values,)
+    return tuple(values)
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """A cross-product grid of episodes over every configuration axis.
+
+    Scalar values are accepted anywhere a sequence is expected; difficulty
+    entries may be :class:`Difficulty` members or their string values.  The
+    expansion (:meth:`expand`) is deterministic and documented — see the
+    module docstring.
+    """
+
+    name: str = "campaign"
+    difficulties: Tuple[Difficulty, ...] = (Difficulty.EASY,)
+    seeds: Tuple[int, ...] = (0,)
+    implementations: Tuple[str, ...] = ("vector",)
+    frequencies_mhz: Tuple[float, ...] = (100.0,)
+    variants: Tuple[str, ...] = ("CrazyFlie",)
+    control_rates_hz: Tuple[float, ...] = (100.0,)
+    max_admm_iterations: Tuple[int, ...] = (10,)
+    physics_dt: float = 0.002
+    waypoint_tolerance: float = 0.20
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "difficulties", tuple(
+            _as_difficulty(d) for d in _tuple(self.difficulties)))
+        object.__setattr__(self, "seeds", tuple(
+            int(s) for s in _tuple(self.seeds)))
+        object.__setattr__(self, "implementations",
+                           _tuple(self.implementations))
+        object.__setattr__(self, "frequencies_mhz", tuple(
+            float(f) for f in _tuple(self.frequencies_mhz)))
+        object.__setattr__(self, "variants", _tuple(self.variants))
+        object.__setattr__(self, "control_rates_hz", tuple(
+            float(r) for r in _tuple(self.control_rates_hz)))
+        object.__setattr__(self, "max_admm_iterations", tuple(
+            int(i) for i in _tuple(self.max_admm_iterations)))
+        self.validate()
+
+    # -- validation -------------------------------------------------------------
+    def validate(self) -> None:
+        for axis in ("difficulties", "seeds", "implementations",
+                     "frequencies_mhz", "variants", "control_rates_hz",
+                     "max_admm_iterations"):
+            if not getattr(self, axis):
+                raise ValueError("campaign axis {!r} is empty".format(axis))
+        known_variants = set(all_variants())
+        for variant in self.variants:
+            if variant not in known_variants:
+                raise ValueError("unknown drone variant {!r}; options: {}".format(
+                    variant, ", ".join(sorted(known_variants))))
+        allowed = set(SOFTWARE_IMPLEMENTATIONS) | {"ideal"}
+        for implementation in self.implementations:
+            if implementation not in allowed:
+                raise ValueError(
+                    "unknown implementation {!r}; options: {}".format(
+                        implementation, ", ".join(sorted(allowed))))
+        for frequency in self.frequencies_mhz:
+            if frequency <= 0:
+                raise ValueError("frequencies_mhz must be positive")
+        for rate in self.control_rates_hz:
+            if rate <= 0:
+                raise ValueError("control_rates_hz must be positive")
+
+    # -- expansion --------------------------------------------------------------
+    @property
+    def size(self) -> int:
+        return (len(self.difficulties) * len(self.seeds)
+                * len(self.implementations) * len(self.frequencies_mhz)
+                * len(self.variants) * len(self.control_rates_hz)
+                * len(self.max_admm_iterations))
+
+    def expand(self) -> List[EpisodeSpec]:
+        """The campaign's episodes, in the documented deterministic order."""
+        return [
+            EpisodeSpec(
+                difficulty=difficulty, seed=seed,
+                implementation=implementation, frequency_mhz=frequency,
+                variant=variant, control_rate_hz=rate,
+                max_admm_iterations=iterations,
+                physics_dt=self.physics_dt,
+                waypoint_tolerance=self.waypoint_tolerance)
+            for difficulty, seed, implementation, frequency, variant, rate,
+                iterations
+            in itertools.product(self.difficulties, self.seeds,
+                                 self.implementations, self.frequencies_mhz,
+                                 self.variants, self.control_rates_hz,
+                                 self.max_admm_iterations)
+        ]
+
+    # -- (de)serialization -------------------------------------------------------
+    def to_dict(self) -> Dict:
+        return {
+            "name": self.name,
+            "difficulties": [d.value for d in self.difficulties],
+            "seeds": list(self.seeds),
+            "implementations": list(self.implementations),
+            "frequencies_mhz": list(self.frequencies_mhz),
+            "variants": list(self.variants),
+            "control_rates_hz": list(self.control_rates_hz),
+            "max_admm_iterations": list(self.max_admm_iterations),
+            "physics_dt": self.physics_dt,
+            "waypoint_tolerance": self.waypoint_tolerance,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict) -> "CampaignSpec":
+        known = {f.name for f in fields(cls)}
+        unknown = set(payload) - known
+        if unknown:
+            raise ValueError("unknown campaign fields: {}".format(
+                ", ".join(sorted(unknown))))
+        return cls(**payload)
+
+    def describe(self) -> str:
+        return ("campaign {!r}: {} episodes = {} difficulties x {} seeds x "
+                "{} impls x {} freqs x {} variants x {} rates x {} iter settings"
+                .format(self.name, self.size, len(self.difficulties),
+                        len(self.seeds), len(self.implementations),
+                        len(self.frequencies_mhz), len(self.variants),
+                        len(self.control_rates_hz),
+                        len(self.max_admm_iterations)))
+
+
+class EpisodeFactory:
+    """Builds runnable :class:`FleetEpisode` objects from specs, with memos.
+
+    Distinct configurations are compiled once per factory: the linearized
+    MPC problem per (variant, control rate), the LQR cache per problem, and
+    the SoC timing model per (implementation, frequency, variant, control
+    rate).  Worker shards each hold their own factory, so memoization never
+    crosses process boundaries.
+    """
+
+    def __init__(self) -> None:
+        self._variants = all_variants()
+        self._problems: Dict[Tuple, object] = {}
+        self._caches: Dict[Tuple, object] = {}
+        self._socs: Dict[Tuple, SoCModel] = {}
+
+    def problem_for(self, variant: str, control_rate_hz: float):
+        key = (variant, control_rate_hz)
+        if key not in self._problems:
+            self._problems[key] = build_variant_problem(
+                self._variants[variant], control_rate_hz=control_rate_hz)
+        return self._problems[key]
+
+    def cache_for(self, variant: str, control_rate_hz: float):
+        key = (variant, control_rate_hz)
+        if key not in self._caches:
+            self._caches[key] = compute_cache(
+                self.problem_for(variant, control_rate_hz))
+        return self._caches[key]
+
+    def soc_for(self, implementation: str, frequency_mhz: float,
+                variant: str, control_rate_hz: float) -> Optional[SoCModel]:
+        if implementation == "ideal":
+            return None
+        key = (implementation, frequency_mhz, variant, control_rate_hz)
+        if key not in self._socs:
+            soc = SoCModel.from_implementation(implementation, frequency_mhz)
+            soc.compile_problem(self.problem_for(variant, control_rate_hz))
+            self._socs[key] = soc
+        return self._socs[key]
+
+    def build(self, spec: EpisodeSpec, episode_id: int) -> FleetEpisode:
+        problem = self.problem_for(spec.variant, spec.control_rate_hz)
+        config = spec.hil_config()
+        scenario = generate_scenario(spec.difficulty, spec.seed)
+        runner = EpisodeRunner(
+            config, self._variants[spec.variant], scenario,
+            soc=self.soc_for(spec.implementation, spec.frequency_mhz,
+                             spec.variant, spec.control_rate_hz),
+            state_dim=problem.state_dim, episode_id=episode_id)
+        settings = SolverSettings(max_iterations=spec.max_admm_iterations,
+                                  warm_start=True)
+        return FleetEpisode(
+            episode_id=episode_id, runner=runner, problem=problem,
+            settings=settings,
+            cache=self.cache_for(spec.variant, spec.control_rate_hz))

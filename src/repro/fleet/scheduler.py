@@ -1,0 +1,316 @@
+"""Event-driven fleet scheduler: dynamic batching across heterogeneous episodes.
+
+The lockstep batched runner of PR 1 could only batch episodes that shared
+*one* :class:`~repro.hil.loop.HILConfig` — any mixed sweep (different clock
+frequencies, drone variants, control rates, or solver settings) fell back
+to sequential scalar solves.  This scheduler removes that restriction:
+
+* every episode is an :class:`~repro.hil.episode.EpisodeRunner` step
+  generator that yields :class:`~repro.hil.episode.SolveRequest` objects
+  into a virtual-time queue;
+* a batcher groups pending requests by *solver compatibility* — identical
+  MPC problem content (:func:`~repro.tinympc.problem.problem_hash`) and
+  identical :class:`~repro.tinympc.solver.SolverSettings` — and dispatches
+  each group as one :class:`~repro.tinympc.batch.BatchTinyMPCSolver` call;
+* per-episode warm-start state lives outside the solver and is loaded into
+  batch slots per dispatch (``import_slot`` / ``export_slot``), so episodes
+  keep their warm starts even when they share slots across dispatches.
+
+Episodes never interact physically, so a solve request is causally
+independent of every other episode's requests: the batcher is free to pack
+requests carrying *different* virtual timestamps into one dispatch (the
+per-episode solve order is preserved by construction, because an episode
+has at most one outstanding request).  Dispatch order still follows virtual
+time — the group holding the earliest pending request goes first — which
+keeps runs deterministic and makes the dispatch trace physically readable.
+
+Numerical contract
+------------------
+
+With ``batching=False`` (or for singleton groups) every solve runs through
+a scalar :class:`~repro.tinympc.solver.TinyMPCSolver` — literally the same
+code path as :meth:`HILLoop.run_scenario` — so results are **bit-for-bit**
+identical to sequential episode runs.  With batching enabled, solves run as
+fixed-width GEMMs whose low bits differ from the scalar GEMV path by BLAS
+round-off (~1e-15 per solve); iteration counts, solve times, success flags,
+and every other discrete outcome remain exactly equal on all supported
+scenarios, and float metrics agree to tight tolerances
+(``tests/fleet/test_scheduler.py``).  Batch width per group is fixed at
+construction, so repeated runs of one campaign are bit-for-bit identical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..hil.episode import EpisodeRunner, SolveRequest
+from ..hil.metrics import ScenarioResult
+from ..tinympc import (
+    BatchTinyMPCSolver,
+    MPCProblem,
+    SolverSettings,
+    TinyMPCSolver,
+    problem_hash,
+)
+from ..tinympc.cache import LQRCache, compute_cache
+
+__all__ = ["FleetEpisode", "FleetScheduler", "SchedulerStats",
+           "compatibility_key"]
+
+
+def compatibility_key(problem: MPCProblem, settings: SolverSettings) -> Tuple:
+    """Two episodes may share one batched solver iff their keys are equal.
+
+    Compatibility requires identical problem *content* (dynamics, costs,
+    bounds, horizon — i.e. identical workspace shapes and solve numerics)
+    and identical termination settings.  Clock frequency, UART latency, and
+    drone variant names do **not** appear: frequency only scales latency
+    outside the solver, and two variants with different parameters already
+    hash to different problems.
+    """
+    return (problem_hash(problem), settings.max_iterations,
+            settings.abs_primal_tolerance, settings.abs_dual_tolerance,
+            settings.check_termination_every, settings.warm_start)
+
+
+@dataclass
+class FleetEpisode:
+    """One schedulable episode: a step generator plus its solver identity."""
+
+    episode_id: int
+    runner: EpisodeRunner
+    problem: MPCProblem
+    settings: SolverSettings
+    cache: Optional[LQRCache] = None
+
+    @property
+    def group_key(self) -> Tuple:
+        return compatibility_key(self.problem, self.settings)
+
+
+@dataclass
+class SchedulerStats:
+    """Dispatch accounting for one scheduler run (or one worker shard)."""
+
+    episodes: int = 0
+    groups: int = 0
+    dispatches: int = 0
+    solves: int = 0
+    batched_solves: int = 0
+    scalar_solves: int = 0
+    batch_widths: List[int] = field(default_factory=list)
+
+    @property
+    def mean_batch_width(self) -> float:
+        if not self.batch_widths:
+            return 0.0
+        return float(np.mean(self.batch_widths))
+
+    @property
+    def max_batch_width(self) -> int:
+        return max(self.batch_widths) if self.batch_widths else 0
+
+    def merge(self, other: "SchedulerStats") -> "SchedulerStats":
+        self.episodes += other.episodes
+        self.groups += other.groups
+        self.dispatches += other.dispatches
+        self.solves += other.solves
+        self.batched_solves += other.batched_solves
+        self.scalar_solves += other.scalar_solves
+        self.batch_widths.extend(other.batch_widths)
+        return self
+
+    def as_row(self) -> Dict[str, float]:
+        return {
+            "episodes": self.episodes,
+            "groups": self.groups,
+            "dispatches": self.dispatches,
+            "solves": self.solves,
+            "batched_solves": self.batched_solves,
+            "scalar_solves": self.scalar_solves,
+            "mean_batch_width": self.mean_batch_width,
+            "max_batch_width": self.max_batch_width,
+        }
+
+
+class _ScalarGroup:
+    """Solver group backed by per-episode scalar solvers (the exact path)."""
+
+    def __init__(self, problem: MPCProblem, settings: SolverSettings,
+                 cache: Optional[LQRCache]) -> None:
+        self.problem = problem
+        self.settings = settings
+        self.cache = cache or compute_cache(problem)
+        self._solvers: Dict[int, TinyMPCSolver] = {}
+
+    def solve(self, requests: Sequence[SolveRequest], stats: SchedulerStats
+              ) -> Dict[int, Tuple[np.ndarray, int]]:
+        responses = {}
+        for request in requests:
+            solver = self._solvers.get(request.episode)
+            if solver is None:
+                # A fresh solver is exactly a reset one — the same state
+                # HILLoop.run_scenario starts each episode from.
+                solver = TinyMPCSolver(self.problem, self.settings, self.cache)
+                self._solvers[request.episode] = solver
+            solution = solver.solve(request.x0, Xref=request.goal)
+            responses[request.episode] = (solution.control, solution.iterations)
+            stats.dispatches += 1
+            stats.scalar_solves += 1
+            stats.batch_widths.append(1)
+        stats.solves += len(requests)
+        return responses
+
+    def release(self, episode_id: int) -> None:
+        self._solvers.pop(episode_id, None)
+
+
+class _BatchGroup:
+    """Solver group backed by one fixed-width batched solver.
+
+    Episodes outnumbering the batch capacity share slots: each dispatch
+    loads the warm-start state of the episodes it packs into slots
+    (``import_slot``), solves the batch with the leading slots active, and
+    exports the carried state back out (``export_slot``).  The round-trip
+    copies raw workspace rows, so slot sharing is numerically invisible.
+    """
+
+    def __init__(self, problem: MPCProblem, settings: SolverSettings,
+                 cache: Optional[LQRCache], capacity: int) -> None:
+        self.problem = problem
+        self.settings = settings
+        self.capacity = capacity
+        self.solver = BatchTinyMPCSolver(problem, capacity, settings,
+                                         cache or compute_cache(problem))
+        self._carried: Dict[int, Dict[str, np.ndarray]] = {}
+        self._x0 = np.zeros((capacity, problem.state_dim))
+        self._goal = np.zeros((capacity, problem.state_dim))
+        self._active = np.zeros(capacity, dtype=bool)
+
+    def solve(self, requests: Sequence[SolveRequest], stats: SchedulerStats
+              ) -> Dict[int, Tuple[np.ndarray, int]]:
+        responses = {}
+        for start in range(0, len(requests), self.capacity):
+            chunk = requests[start:start + self.capacity]
+            width = len(chunk)
+            for slot, request in enumerate(chunk):
+                self.solver.import_slot(slot, self._carried.get(request.episode))
+                self._x0[slot] = request.x0
+                self._goal[slot] = request.goal
+            self._active[:] = False
+            self._active[:width] = True
+            solution = self.solver.solve(self._x0, Xref=self._goal,
+                                         active=self._active)
+            for slot, request in enumerate(chunk):
+                responses[request.episode] = (
+                    solution.inputs[slot, 0].copy(),
+                    int(solution.iterations[slot]))
+                self._carried[request.episode] = self.solver.export_slot(slot)
+            stats.dispatches += 1
+            stats.batched_solves += width
+            stats.batch_widths.append(width)
+        stats.solves += len(requests)
+        return responses
+
+    def release(self, episode_id: int) -> None:
+        self._carried.pop(episode_id, None)
+
+
+class FleetScheduler:
+    """Run a heterogeneous set of episodes with dynamic solve batching.
+
+    Args:
+        episodes: the fleet; ``episode_id`` values must be unique (results
+            come back in the order the episodes were given).
+        batching: route compatible solves through batched GEMM dispatches.
+            ``False`` forces the scalar path for every episode — bit-for-bit
+            identical to sequential :meth:`HILLoop.run_scenario` calls.
+        max_batch: cap on batch width (slots); groups larger than this share
+            slots across dispatches.  ``None`` sizes each group's solver to
+            its population for maximal throughput.
+    """
+
+    def __init__(self, episodes: Sequence[FleetEpisode], batching: bool = True,
+                 max_batch: Optional[int] = None) -> None:
+        self.episodes = list(episodes)
+        self.batching = batching
+        if max_batch is not None and max_batch < 1:
+            raise ValueError("max_batch must be at least 1")
+        self.max_batch = max_batch
+        self.stats = SchedulerStats()
+        seen = set()
+        for episode in self.episodes:
+            if episode.episode_id in seen:
+                raise ValueError("duplicate episode_id {}".format(
+                    episode.episode_id))
+            seen.add(episode.episode_id)
+
+    # -- internals -------------------------------------------------------------
+    def _build_groups(self):
+        """Group episodes by compatibility key, preserving first-seen order."""
+        members: Dict[Tuple, List[FleetEpisode]] = {}
+        order: List[Tuple] = []
+        for episode in self.episodes:
+            key = episode.group_key
+            if key not in members:
+                members[key] = []
+                order.append(key)
+            members[key].append(episode)
+        groups = {}
+        for key in order:
+            population = members[key]
+            first = population[0]
+            if not self.batching or len(population) == 1:
+                groups[key] = _ScalarGroup(first.problem, first.settings,
+                                           first.cache)
+            else:
+                capacity = len(population)
+                if self.max_batch is not None:
+                    capacity = min(capacity, self.max_batch)
+                groups[key] = _BatchGroup(first.problem, first.settings,
+                                          first.cache, capacity)
+        return groups, order
+
+    # -- main entry point -------------------------------------------------------
+    def run(self) -> List[ScenarioResult]:
+        """Fly every episode to completion; results in input order."""
+        if not self.episodes:
+            return []
+        groups, group_order = self._build_groups()
+        group_rank = {key: rank for rank, key in enumerate(group_order)}
+        by_id = {episode.episode_id: episode for episode in self.episodes}
+        self.stats.episodes = len(self.episodes)
+        self.stats.groups = len(groups)
+
+        steppers = {}
+        pending: Dict[Tuple, List[SolveRequest]] = {}
+
+        def advance(episode: FleetEpisode, response) -> None:
+            stepper = steppers[episode.episode_id]
+            try:
+                request = stepper.send(response)
+            except StopIteration:
+                del steppers[episode.episode_id]
+                groups[episode.group_key].release(episode.episode_id)
+                return
+            pending.setdefault(episode.group_key, []).append(request)
+
+        for episode in self.episodes:
+            steppers[episode.episode_id] = episode.runner.run()
+            advance(episode, None)
+
+        while pending:
+            # Event-driven dispatch: the group holding the earliest pending
+            # request goes first (first-seen group order breaks time ties).
+            key = min(pending, key=lambda k: (
+                min(r.time for r in pending[k]), group_rank[k]))
+            requests = pending.pop(key)
+            requests.sort(key=lambda r: (r.time, r.episode))
+            responses = groups[key].solve(requests, self.stats)
+            for request in requests:
+                advance(by_id[request.episode], responses[request.episode])
+
+        return [episode.runner.result for episode in self.episodes]

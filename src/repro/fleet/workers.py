@@ -1,0 +1,176 @@
+"""Campaign execution: in-process or sharded across worker processes.
+
+:func:`run_campaign` is the one entry point: it expands a
+:class:`~repro.fleet.campaign.CampaignSpec` (or takes pre-expanded
+:class:`~repro.fleet.campaign.EpisodeSpec` lists), partitions the episodes
+deterministically across worker processes, runs a
+:class:`~repro.fleet.scheduler.FleetScheduler` per shard, and merges the
+shards back into campaign order.
+
+Partitioning is round-robin (shard ``s`` owns episodes ``s, s+W, s+2W,
+...``), which interleaves every configuration axis across shards — each
+worker gets a representative slice of the grid, so batch groups stay wide
+on every shard instead of one worker inheriting all the long episodes.
+Because episode order and scenario generation are deterministic (scenario
+seeds derive from a sha256 digest, not the salted builtin ``hash``), the
+same campaign produces the same per-episode results for any worker count,
+and bit-for-bit identical results when the worker count is held fixed (the
+shard's batch width is part of the GEMM round-off profile).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import multiprocessing
+
+from ..hil.metrics import ScenarioResult
+from .aggregate import FleetAggregator
+from .campaign import CampaignSpec, EpisodeFactory, EpisodeSpec
+from .scheduler import FleetScheduler, SchedulerStats
+
+__all__ = ["CampaignResult", "run_campaign", "shard_indices",
+           "DEFAULT_BOUNDED_BATCH"]
+
+# Batched solver width used in memory-bounded mode (keep_results=False) when
+# the caller did not pick one: wide enough that dispatch overhead amortizes,
+# bounded so workspace memory stays O(width) rather than O(population).
+DEFAULT_BOUNDED_BATCH = 256
+
+
+def shard_indices(count: int, shards: int) -> List[List[int]]:
+    """Deterministic round-robin partition of ``range(count)``.
+
+    Every index appears exactly once; shard ``s`` owns ``s, s+shards, ...``.
+    Empty shards are dropped (when ``shards > count``).
+    """
+    if shards < 1:
+        raise ValueError("shards must be at least 1")
+    parts = [list(range(start, count, shards)) for start in range(shards)]
+    return [part for part in parts if part]
+
+
+@dataclass
+class CampaignResult:
+    """Everything a campaign run produced.
+
+    ``results`` holds per-episode outcomes in campaign order — empty when
+    the campaign ran with ``keep_results=False`` (memory-bounded mode,
+    where only the streamed aggregate survives).
+    """
+
+    campaign: Optional[CampaignSpec]
+    episodes: List[EpisodeSpec]
+    results: List[ScenarioResult]          # campaign order
+    aggregate: FleetAggregator
+    stats: SchedulerStats
+    workers: int = 1
+
+    def rows(self) -> List[Dict[str, object]]:
+        return self.aggregate.rows()
+
+    def overall(self) -> Dict[str, object]:
+        summary = self.aggregate.overall()
+        summary["workers"] = self.workers
+        summary.update(self.stats.as_row())
+        return summary
+
+
+def _run_shard(payload: Tuple) -> Tuple[List[int],
+                                        Optional[List[ScenarioResult]],
+                                        SchedulerStats,
+                                        Optional[FleetAggregator]]:
+    """Worker entry point: run one shard's episodes through a scheduler.
+
+    Module-level so it pickles under every multiprocessing start method.
+    With ``keep_results=False`` the shard aggregates its own episodes and
+    ships only the bounded :class:`FleetAggregator` back to the parent, so
+    campaign memory stays O(cells x cap) end to end.
+    """
+    indices, specs, batching, max_batch, keep_results, sample_cap = payload
+    factory = EpisodeFactory()
+    episodes = [factory.build(spec, episode_id=index)
+                for index, spec in zip(indices, specs)]
+    scheduler = FleetScheduler(episodes, batching=batching, max_batch=max_batch)
+    results = scheduler.run()
+    if keep_results:
+        return indices, results, scheduler.stats, None
+    aggregator = FleetAggregator(sample_cap=sample_cap)
+    for spec, result in zip(specs, results):
+        aggregator.add(result, key=spec.cell_key())
+    return indices, None, scheduler.stats, aggregator
+
+
+def run_campaign(campaign: Union[CampaignSpec, Sequence[EpisodeSpec]],
+                 workers: int = 1, batching: bool = True,
+                 max_batch: Optional[int] = None,
+                 sample_cap: int = 4096,
+                 keep_results: bool = True,
+                 start_method: Optional[str] = None) -> CampaignResult:
+    """Run a campaign, optionally sharded across worker processes.
+
+    Args:
+        campaign: a :class:`CampaignSpec` or an explicit episode list.
+        workers: number of worker processes; ``1`` runs in-process.
+        batching: route compatible solves through the dynamic batcher
+            (``False`` is the bit-for-bit scalar reference path).
+        max_batch: optional cap on batched solver width per group.
+        sample_cap: per-cell reservoir bound for streaming percentiles.
+        keep_results: retain every per-episode :class:`ScenarioResult` in
+            :attr:`CampaignResult.results`.  ``False`` aggregates inside
+            each shard and keeps only the bounded per-cell statistics —
+            the memory-bounded mode for very large campaigns
+            (:attr:`CampaignResult.results` comes back empty, and
+            ``max_batch`` defaults to :data:`DEFAULT_BOUNDED_BATCH` so
+            solver workspaces stay bounded too).
+        start_method: multiprocessing start method (default: platform default).
+    """
+    if not keep_results and max_batch is None:
+        max_batch = DEFAULT_BOUNDED_BATCH
+    if isinstance(campaign, CampaignSpec):
+        spec: Optional[CampaignSpec] = campaign
+        episode_specs = campaign.expand()
+    else:
+        spec = None
+        episode_specs = list(campaign)
+    if workers < 1:
+        raise ValueError("workers must be at least 1")
+
+    results: List[Optional[ScenarioResult]] = [None] * len(episode_specs)
+    stats = SchedulerStats()
+    if not episode_specs:
+        return CampaignResult(spec, episode_specs, [], FleetAggregator(),
+                              stats, workers)
+
+    shards = shard_indices(len(episode_specs), workers)
+    payloads = [(indices, [episode_specs[i] for i in indices],
+                 batching, max_batch, keep_results, sample_cap)
+                for indices in shards]
+    if len(payloads) == 1:
+        shard_outputs = [_run_shard(payloads[0])]
+    else:
+        context = (multiprocessing.get_context(start_method) if start_method
+                   else multiprocessing.get_context())
+        with context.Pool(processes=len(payloads)) as pool:
+            shard_outputs = pool.map(_run_shard, payloads)
+
+    aggregator = FleetAggregator(sample_cap=sample_cap)
+    for indices, shard_results, shard_stats, shard_aggregate in shard_outputs:
+        if shard_results is not None:
+            for index, result in zip(indices, shard_results):
+                results[index] = result
+        if shard_aggregate is not None:
+            aggregator.merge(shard_aggregate)
+        stats.merge(shard_stats)
+
+    if keep_results:
+        # Stream the merged results through the aggregator in campaign order
+        # so rows do not depend on shard completion order.  (In the
+        # memory-bounded mode above, shards aggregate locally and merge in
+        # deterministic shard order instead.)
+        for episode_spec, result in zip(episode_specs, results):
+            aggregator.add(result, key=episode_spec.cell_key())
+        return CampaignResult(spec, episode_specs, results, aggregator, stats,
+                              workers)
+    return CampaignResult(spec, episode_specs, [], aggregator, stats, workers)

@@ -2,6 +2,7 @@
 
 from .uart import UARTLink
 from .dronet import DroNetWorkload
+from .episode import EpisodeRunner, SolveRequest
 from .soc import SOFTWARE_IMPLEMENTATIONS, SoCModel
 from .rtos import ConcurrentTaskReport, RTOSModel
 from .metrics import (
@@ -18,6 +19,8 @@ from .loop import HILConfig, HILLoop, build_variant_problem
 __all__ = [
     "UARTLink",
     "DroNetWorkload",
+    "EpisodeRunner",
+    "SolveRequest",
     "SOFTWARE_IMPLEMENTATIONS",
     "SoCModel",
     "ConcurrentTaskReport",

@@ -1,0 +1,216 @@
+"""One HIL episode as a solver-agnostic step generator.
+
+Historically the closed-loop episode logic lived inline in
+:meth:`repro.hil.loop.HILLoop.run_scenario`, and the lockstep batched runner
+re-implemented the same state machine a second time.  The fleet campaign
+engine (:mod:`repro.fleet`) needs a third consumer, so the episode is now a
+single implementation shared by every path: a *generator* that owns the
+plant, the latency model, and all metric bookkeeping, and that ``yield``\\ s
+a :class:`SolveRequest` whenever the controller needs an MPC solve.
+
+The driver — scalar loop or fleet scheduler — answers each request by
+sending back ``(control, iterations)``; where that solve runs (a scalar
+:class:`~repro.tinympc.solver.TinyMPCSolver`, one slot of a
+:class:`~repro.tinympc.batch.BatchTinyMPCSolver`, another process) is
+invisible to the episode.  Because the physics, timing, and metric code is
+literally the same object code on every path, scalar and fleet runs can
+only diverge through the numbers the solver returns.
+
+Timing semantics (identical to the original ``run_scenario`` loop)::
+
+    state sampled -> UART downlink -> solve (iterations x cycles / f_clk)
+                  -> UART uplink   -> motor command applied
+
+The solver cannot accept a new state while a solve is in flight; if a solve
+overruns one or more control periods, the next solve resumes on the first
+period boundary after the solver frees up.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator, List, Optional, Tuple
+
+import numpy as np
+
+from ..drone import (
+    DroneParams,
+    Quadrotor,
+    Scenario,
+    hover_input,
+    hover_state,
+    total_actuation_power,
+)
+from .metrics import ScenarioResult
+from .soc import SoCModel
+
+__all__ = ["SolveRequest", "EpisodeRunner"]
+
+
+@dataclass
+class SolveRequest:
+    """One MPC solve the episode needs before it can keep flying.
+
+    ``episode`` is the id the driver assigned to this episode (the fleet
+    scheduler uses it to route the batched solution rows back); ``time`` is
+    the episode-local virtual time at which the state was sampled.
+    """
+
+    episode: int
+    time: float
+    x0: np.ndarray           # sampled plant state, shape (state_dim,)
+    goal: np.ndarray         # goal state for the active waypoint, (state_dim,)
+
+
+class EpisodeRunner:
+    """Drives one waypoint-tracking scenario, pausing at each solve.
+
+    Usage::
+
+        runner = EpisodeRunner(config, params, scenario, soc=soc)
+        stepper = runner.run()
+        response = None
+        while True:
+            try:
+                request = stepper.send(response)
+            except StopIteration:
+                break
+            solution = solver.solve(request.x0, Xref=request.goal)
+            response = (solution.control, solution.iterations)
+        result = runner.result
+
+    The generator yields :class:`SolveRequest` objects and expects a
+    ``(control, iterations)`` pair in return.  After exhaustion,
+    :attr:`result` holds the episode's :class:`ScenarioResult`.
+    """
+
+    def __init__(self, config, params: DroneParams, scenario: Scenario,
+                 soc: Optional[SoCModel] = None, state_dim: int = 12,
+                 episode_id: int = 0) -> None:
+        self.config = config
+        self.params = params
+        self.scenario = scenario
+        self.soc = soc
+        self.state_dim = state_dim
+        self.episode_id = episode_id
+        self.plant = Quadrotor(params, dt=config.physics_dt)
+        self._result: Optional[ScenarioResult] = None
+        if not config.is_ideal and soc is None:
+            raise ValueError("non-ideal episodes need a compiled SoCModel")
+
+    # -- helpers ----------------------------------------------------------------
+    @property
+    def result(self) -> ScenarioResult:
+        if self._result is None:
+            raise RuntimeError("episode has not finished; drive run() first")
+        return self._result
+
+    @property
+    def finished(self) -> bool:
+        return self._result is not None
+
+    def _goal_state(self, position: np.ndarray) -> np.ndarray:
+        goal = np.zeros(self.state_dim)
+        goal[0:3] = position
+        return goal
+
+    def _solve_latency(self, iterations: int) -> float:
+        """End-to-end latency from state sample to applied command."""
+        if self.config.is_ideal:
+            return 0.0
+        compute = self.soc.solve_latency(iterations)
+        return (self.config.uart.downlink_latency + compute
+                + self.config.uart.uplink_latency)
+
+    # -- the episode state machine ---------------------------------------------
+    def run(self) -> Generator[SolveRequest, Tuple[np.ndarray, int], None]:
+        """Fly the scenario, yielding a :class:`SolveRequest` per solve."""
+        config = self.config
+        scenario = self.scenario
+        plant = self.plant
+        plant.reset(hover_state(scenario.start_position))
+
+        hover = hover_input(self.params)
+        command = hover.copy()
+        pending_command: Optional[np.ndarray] = None
+        pending_ready_time = 0.0
+        solver_free_time = 0.0
+        next_control_time = 0.0
+
+        solve_times: List[float] = []
+        solve_iterations: List[int] = []
+        compute_busy_time = 0.0
+        actuation_energy = 0.0
+        positions: List[np.ndarray] = []
+        crashed = False
+
+        control_period = (config.physics_dt if config.is_ideal
+                          else config.control_period)
+        steps = int(round(scenario.duration / config.physics_dt))
+        time = 0.0
+        for step in range(steps):
+            time = step * config.physics_dt
+            # Apply a completed solve.
+            if pending_command is not None and time >= pending_ready_time:
+                command = hover + pending_command
+                pending_command = None
+            # Kick off a new solve at control ticks once the solver is free.
+            if time >= next_control_time and time >= solver_free_time:
+                waypoint = scenario.active_waypoint(time)
+                goal = self._goal_state(waypoint.as_array())
+                control, iterations = yield SolveRequest(
+                    self.episode_id, time, plant.observe(), goal)
+                latency = self._solve_latency(iterations)
+                compute_only = (0.0 if config.is_ideal
+                                else self.soc.solve_latency(iterations))
+                solve_times.append(compute_only)
+                solve_iterations.append(iterations)
+                compute_busy_time += compute_only
+                if config.is_ideal:
+                    command = hover + control
+                else:
+                    pending_command = control
+                    pending_ready_time = time + latency
+                    solver_free_time = time + max(latency, 1e-9)
+                next_control_time += control_period
+                # If the solve overran one or more control periods, resume on
+                # the next period boundary after the solver frees up.
+                if solver_free_time > next_control_time:
+                    periods_behind = int(np.ceil(
+                        (solver_free_time - next_control_time) / control_period))
+                    next_control_time += periods_behind * control_period
+
+            plant.step(command)
+            actuation_energy += total_actuation_power(
+                plant.rotor_thrusts, self.params) * config.physics_dt
+            if config.record_trajectory:
+                positions.append(plant.position)
+            if plant.has_crashed():
+                crashed = True
+                break
+
+        flight_time = max(time, config.physics_dt)
+        final_distance = float(np.linalg.norm(
+            plant.position - scenario.final_waypoint.as_array()))
+        success = (not crashed) and final_distance <= config.waypoint_tolerance
+
+        if config.is_ideal:
+            soc_power = 0.0
+        else:
+            activity = min(compute_busy_time / flight_time, 1.0)
+            soc_power = self.soc.power(activity)
+
+        self._result = ScenarioResult(
+            scenario=scenario,
+            implementation=config.implementation,
+            frequency_mhz=config.frequency_mhz,
+            success=success,
+            crashed=crashed,
+            final_distance=final_distance,
+            solve_times=solve_times,
+            solve_iterations=solve_iterations,
+            actuation_power_w=actuation_energy / flight_time,
+            soc_power_w=soc_power,
+            flight_time_s=flight_time,
+            positions=np.array(positions) if positions else None,
+        )

@@ -33,9 +33,9 @@ from ..drone import (
     hover_input,
     hover_state,
     linearize_hover,
-    total_actuation_power,
 )
-from ..tinympc import BatchTinyMPCSolver, MPCProblem, SolverSettings, TinyMPCSolver
+from ..tinympc import MPCProblem, SolverSettings, TinyMPCSolver
+from .episode import EpisodeRunner
 from .metrics import ScenarioResult
 from .soc import SoCModel
 from .uart import UARTLink
@@ -87,31 +87,6 @@ class HILConfig:
         return 1.0 / self.control_rate_hz
 
 
-@dataclass
-class _EpisodeState:
-    """Mutable per-episode bookkeeping for the lockstep batched runner.
-
-    Mirrors exactly the local variables of :meth:`HILLoop.run_scenario` so
-    the batched and sequential paths stay behaviorally identical.
-    """
-
-    scenario: Scenario
-    plant: Quadrotor
-    command: np.ndarray
-    steps: int
-    pending_command: Optional[np.ndarray] = None
-    pending_ready_time: float = 0.0
-    solver_free_time: float = 0.0
-    next_control_time: float = 0.0
-    solve_times: List[float] = field(default_factory=list)
-    solve_iterations: List[int] = field(default_factory=list)
-    compute_busy_time: float = 0.0
-    actuation_energy: float = 0.0
-    positions: List[np.ndarray] = field(default_factory=list)
-    crashed: bool = False
-    last_time: float = 0.0
-
-
 class HILLoop:
     """Closed-loop simulator: drone plant + SoC-timed MPC + UART link."""
 
@@ -150,228 +125,88 @@ class HILLoop:
         compute = self.soc.solve_latency(iterations)
         return self.config.uart.downlink_latency + compute + self.config.uart.uplink_latency
 
+    def _episode_runner(self, scenario: Scenario,
+                        episode_id: int = 0) -> EpisodeRunner:
+        """Build the shared episode step generator for one scenario."""
+        return EpisodeRunner(self.config, self.params, scenario, soc=self.soc,
+                             state_dim=self.problem.state_dim,
+                             episode_id=episode_id)
+
     # -- main entry points ----------------------------------------------------------
     def run_scenario(self, scenario: Scenario) -> ScenarioResult:
-        """Fly one waypoint-tracking scenario and collect metrics."""
-        config = self.config
-        plant = self.plant
-        solver = self.solver
-        solver.reset()
-        plant.reset(hover_state(scenario.start_position))
+        """Fly one waypoint-tracking scenario and collect metrics.
 
-        hover = hover_input(self.params)
-        command = hover.copy()
-        pending_command: Optional[np.ndarray] = None
-        pending_ready_time = 0.0
-        solver_free_time = 0.0
-        next_control_time = 0.0
-
-        solve_times: List[float] = []
-        solve_iterations: List[int] = []
-        compute_busy_time = 0.0
-        actuation_energy = 0.0
-        positions: List[np.ndarray] = []
-        crashed = False
-
-        control_period = (config.physics_dt if config.is_ideal
-                          else config.control_period)
-        steps = int(round(scenario.duration / config.physics_dt))
-        time = 0.0
-        for step in range(steps):
-            time = step * config.physics_dt
-            # Apply a completed solve.
-            if pending_command is not None and time >= pending_ready_time:
-                command = hover + pending_command
-                pending_command = None
-            # Kick off a new solve at control ticks once the solver is free.
-            if time >= next_control_time and time >= solver_free_time:
-                waypoint = scenario.active_waypoint(time)
-                goal = self._goal_state(waypoint.as_array())
-                control, iterations = self._solve(plant.observe(), goal)
-                latency = self._solve_latency(iterations)
-                compute_only = 0.0 if config.is_ideal else self.soc.solve_latency(iterations)
-                solve_times.append(compute_only)
-                solve_iterations.append(iterations)
-                compute_busy_time += compute_only
-                if config.is_ideal:
-                    command = hover + control
-                else:
-                    pending_command = control
-                    pending_ready_time = time + latency
-                    solver_free_time = time + max(latency, 1e-9)
-                next_control_time += control_period
-                # If the solve overran one or more control periods, resume on
-                # the next period boundary after the solver frees up.
-                if solver_free_time > next_control_time:
-                    periods_behind = int(np.ceil(
-                        (solver_free_time - next_control_time) / control_period))
-                    next_control_time += periods_behind * control_period
-
-            plant.step(command)
-            actuation_energy += total_actuation_power(
-                plant.rotor_thrusts, self.params) * config.physics_dt
-            if config.record_trajectory:
-                positions.append(plant.position)
-            if plant.has_crashed():
-                crashed = True
+        The episode itself — plant stepping, UART/solve latency accounting,
+        metrics — lives in :class:`~repro.hil.episode.EpisodeRunner`; this
+        method merely answers its solve requests with this loop's scalar
+        solver.  The fleet scheduler (:mod:`repro.fleet.scheduler`) drives
+        the *same* episode implementation, which is what keeps scalar and
+        fleet results equivalent.
+        """
+        self.solver.reset()
+        runner = self._episode_runner(scenario)
+        stepper = runner.run()
+        response = None
+        while True:
+            try:
+                request = stepper.send(response)
+            except StopIteration:
                 break
-
-        flight_time = max(time, config.physics_dt)
-        final_distance = float(np.linalg.norm(
-            plant.position - scenario.final_waypoint.as_array()))
-        success = (not crashed) and final_distance <= config.waypoint_tolerance
-
-        if config.is_ideal:
-            soc_power = 0.0
-        else:
-            activity = min(compute_busy_time / flight_time, 1.0)
-            soc_power = self.soc.power(activity)
-
-        return ScenarioResult(
-            scenario=scenario,
-            implementation=config.implementation,
-            frequency_mhz=config.frequency_mhz,
-            success=success,
-            crashed=crashed,
-            final_distance=final_distance,
-            solve_times=solve_times,
-            solve_iterations=solve_iterations,
-            actuation_power_w=actuation_energy / flight_time,
-            soc_power_w=soc_power,
-            flight_time_s=flight_time,
-            positions=np.array(positions) if positions else None,
-        )
+            solution = self.solver.solve(request.x0, Xref=request.goal)
+            response = (solution.control, solution.iterations)
+        return runner.result
 
     def run_scenarios(self, scenarios: List[Scenario],
                       batched: bool = True) -> List[ScenarioResult]:
         """Fly several scenarios, batching their MPC solves together.
 
-        All episodes share this loop's configuration, drone variant, and SoC
-        timing model, so their solves are instances of one problem structure
-        and can run through a single :class:`BatchTinyMPCSolver`: the
-        episodes advance in lockstep at physics-step granularity and, at
-        every step, whichever episodes are due for a control tick solve as
-        one masked batch while the rest keep their warm-start state parked.
-        Because the batched solver is numerically equivalent to sequential
-        solves, the returned :class:`ScenarioResult` list matches
-        :meth:`run_scenario` applied per scenario (up to float round-off in
-        the batched GEMMs).
+        Delegates to the fleet campaign engine: every scenario becomes one
+        :class:`~repro.fleet.scheduler.FleetEpisode` sharing this loop's
+        configuration, and the :class:`~repro.fleet.scheduler.FleetScheduler`
+        packs their solve requests into
+        :class:`~repro.tinympc.batch.BatchTinyMPCSolver` dispatches.  Unlike
+        the deprecated lockstep runner this method replaced (PR 1's
+        ``_EpisodeState`` path, which required identically-configured
+        episodes advancing in physics-step lockstep), the scheduler batches
+        by *solver compatibility*, so it is the same machinery that serves
+        mixed-configuration campaigns — see :func:`repro.fleet.run_campaign`
+        for grids that vary frequency, variant, or solver settings.
+
+        Results match :meth:`run_scenario` applied per scenario: discrete
+        outcomes (success, crash, iteration counts, solve times) exactly,
+        float metrics up to round-off in the batched GEMMs.
 
         With ``batched=False`` this is exactly a loop over
         :meth:`run_scenario` — the reference the equivalence tests use.
         """
+        from ..fleet.scheduler import FleetEpisode, FleetScheduler
+
         scenarios = list(scenarios)
         if not scenarios:
             return []
         if not batched:
             return [self.run_scenario(scenario) for scenario in scenarios]
-
-        config = self.config
-        batch_size = len(scenarios)
-        solver = BatchTinyMPCSolver(
-            self.problem, batch_size,
-            SolverSettings(max_iterations=config.max_admm_iterations,
-                           warm_start=True))
-        hover = hover_input(self.params)
-        state_dim = self.problem.state_dim
-        control_period = (config.physics_dt if config.is_ideal
-                          else config.control_period)
-        episodes = [_EpisodeState(scenario=scenario,
-                                  plant=Quadrotor(self.params, dt=config.physics_dt),
-                                  command=hover.copy(),
-                                  steps=int(round(scenario.duration / config.physics_dt)))
-                    for scenario in scenarios]
-        for episode in episodes:
-            episode.plant.reset(hover_state(episode.scenario.start_position))
-
-        x0_batch = np.zeros((batch_size, state_dim))
-        goal_batch = np.zeros((batch_size, state_dim))
-        due = np.zeros(batch_size, dtype=bool)
-        for step in range(max(episode.steps for episode in episodes)):
-            time = step * config.physics_dt
-            due[:] = False
-            for index, episode in enumerate(episodes):
-                if episode.crashed or step >= episode.steps:
-                    continue
-                episode.last_time = time
-                if (episode.pending_command is not None
-                        and time >= episode.pending_ready_time):
-                    episode.command = hover + episode.pending_command
-                    episode.pending_command = None
-                if time >= episode.next_control_time and time >= episode.solver_free_time:
-                    due[index] = True
-                    x0_batch[index] = episode.plant.observe()
-                    waypoint = episode.scenario.active_waypoint(time)
-                    goal_batch[index] = self._goal_state(waypoint.as_array())
-            if due.any():
-                solution = solver.solve(x0_batch, Xref=goal_batch, active=due)
-                for index in np.flatnonzero(due):
-                    episode = episodes[index]
-                    control = solution.inputs[index, 0]
-                    iterations = int(solution.iterations[index])
-                    latency = self._solve_latency(iterations)
-                    compute_only = (0.0 if config.is_ideal
-                                    else self.soc.solve_latency(iterations))
-                    episode.solve_times.append(compute_only)
-                    episode.solve_iterations.append(iterations)
-                    episode.compute_busy_time += compute_only
-                    if config.is_ideal:
-                        episode.command = hover + control
-                    else:
-                        episode.pending_command = control
-                        episode.pending_ready_time = time + latency
-                        episode.solver_free_time = time + max(latency, 1e-9)
-                    episode.next_control_time += control_period
-                    if episode.solver_free_time > episode.next_control_time:
-                        periods_behind = int(np.ceil(
-                            (episode.solver_free_time - episode.next_control_time)
-                            / control_period))
-                        episode.next_control_time += periods_behind * control_period
-            for episode in episodes:
-                if episode.crashed or step >= episode.steps:
-                    continue
-                episode.plant.step(episode.command)
-                episode.actuation_energy += total_actuation_power(
-                    episode.plant.rotor_thrusts, self.params) * config.physics_dt
-                if config.record_trajectory:
-                    episode.positions.append(episode.plant.position)
-                if episode.plant.has_crashed():
-                    episode.crashed = True
-
-        results = []
-        for episode in episodes:
-            flight_time = max(episode.last_time, config.physics_dt)
-            final_distance = float(np.linalg.norm(
-                episode.plant.position
-                - episode.scenario.final_waypoint.as_array()))
-            success = ((not episode.crashed)
-                       and final_distance <= config.waypoint_tolerance)
-            if config.is_ideal:
-                soc_power = 0.0
-            else:
-                activity = min(episode.compute_busy_time / flight_time, 1.0)
-                soc_power = self.soc.power(activity)
-            results.append(ScenarioResult(
-                scenario=episode.scenario,
-                implementation=config.implementation,
-                frequency_mhz=config.frequency_mhz,
-                success=success,
-                crashed=episode.crashed,
-                final_distance=final_distance,
-                solve_times=episode.solve_times,
-                solve_iterations=episode.solve_iterations,
-                actuation_power_w=episode.actuation_energy / flight_time,
-                soc_power_w=soc_power,
-                flight_time_s=flight_time,
-                positions=(np.array(episode.positions)
-                           if episode.positions else None),
-            ))
-        return results
+        settings = SolverSettings(
+            max_iterations=self.config.max_admm_iterations, warm_start=True)
+        episodes = [
+            FleetEpisode(episode_id=index,
+                         runner=self._episode_runner(scenario, index),
+                         problem=self.problem, settings=settings,
+                         cache=self.solver.cache)
+            for index, scenario in enumerate(scenarios)]
+        return FleetScheduler(episodes).run()
 
     def run_disturbance(self, disturbance: Disturbance,
                         hold_position: Tuple[float, float, float] = (0.0, 0.0, 0.75),
                         duration: float = 3.0) -> RecoveryResult:
-        """Hold position, inject a disturbance, and measure recovery."""
+        """Hold position, inject a disturbance, and measure recovery.
+
+        Note: this loop intentionally duplicates the solve-timing state
+        machine of :class:`~repro.hil.episode.EpisodeRunner` (disturbance
+        episodes hold a goal, inject wrenches, and record every step's
+        position instead of flying waypoints).  If the timing semantics in
+        ``episode.py`` ever change, mirror them here.
+        """
         config = self.config
         plant = self.plant
         solver = self.solver

@@ -24,9 +24,12 @@ iteration counts and the warm-start state carried into the next solve.
 
 The ``active`` mask of :meth:`BatchTinyMPCSolver.solve` additionally lets a
 caller solve only a subset of instances while the rest keep their
-warm-start state untouched — this is what lets the batched HIL runner
-(:meth:`repro.hil.loop.HILLoop.run_scenarios`) keep lockstep episodes in
-one solver even when their control ticks drift apart.
+warm-start state untouched, and :meth:`BatchTinyMPCSolver.export_slot` /
+:meth:`~BatchTinyMPCSolver.import_slot` let a caller park per-instance
+state outside the solver entirely — together these are what the fleet
+scheduler (:mod:`repro.fleet.scheduler`) uses to pack heterogeneous HIL
+episodes into fixed-width dispatches while every episode keeps its own
+warm start.
 """
 
 from __future__ import annotations
@@ -228,6 +231,44 @@ class BatchTinyMPCSolver:
             warm_started=warm.copy(),
             active=active.copy(),
         )
+
+    # -- slot virtualization -------------------------------------------------
+    #
+    # The fleet scheduler (:mod:`repro.fleet.scheduler`) packs *more* episodes
+    # than the solver has slots: each dispatch loads the warm-start state of
+    # the episodes it is about to solve into slots, solves, and exports the
+    # state back out.  Because the export/import round-trip copies the raw
+    # workspace rows bit-for-bit, a slot-virtualized solve sequence is
+    # numerically identical to giving every episode a persistent slot of the
+    # same batch width.
+
+    def export_slot(self, index: int) -> Dict[str, np.ndarray]:
+        """Copy one slot's carried solver state (for later ``import_slot``).
+
+        The snapshot contains every workspace buffer plus the slot's
+        warm-start flag under the reserved key ``"_warm"``.
+        """
+        state: Dict[str, np.ndarray] = {
+            name: getattr(self.workspace, name)[index].copy()
+            for name in WORKSPACE_BUFFERS}
+        state["_warm"] = bool(self._warm[index])
+        return state
+
+    def import_slot(self, index: int,
+                    state: Optional[Dict[str, np.ndarray]] = None) -> None:
+        """Load carried solver state into a slot (``None`` = fresh/cold slot).
+
+        A fresh slot behaves exactly like an instance that has never solved:
+        the next solve cold-starts it.
+        """
+        if state is None:
+            for name in WORKSPACE_BUFFERS:
+                getattr(self.workspace, name)[index] = 0.0
+            self._warm[index] = False
+            return
+        for name in WORKSPACE_BUFFERS:
+            getattr(self.workspace, name)[index] = state[name]
+        self._warm[index] = bool(state["_warm"])
 
     # -- diagnostics ----------------------------------------------------------
     @property

@@ -1,0 +1,105 @@
+"""Tests for the campaign DSL: expansion, validation, serialization, factory."""
+
+import pytest
+
+from repro.drone import Difficulty
+from repro.fleet import CampaignSpec, EpisodeFactory, EpisodeSpec, compatibility_key
+
+
+class TestCampaignSpec:
+    def test_cross_product_size_and_order(self):
+        spec = CampaignSpec(difficulties=("easy", "hard"), seeds=(0, 1, 2),
+                            frequencies_mhz=(50.0, 100.0))
+        episodes = spec.expand()
+        assert spec.size == len(episodes) == 2 * 3 * 2
+        # Documented nesting: difficulty > seed > ... > frequency
+        assert [e.difficulty for e in episodes[:6]] == [Difficulty.EASY] * 6
+        assert [e.seed for e in episodes[:4]] == [0, 0, 1, 1]
+        assert [e.frequency_mhz for e in episodes[:2]] == [50.0, 100.0]
+
+    def test_expansion_is_deterministic(self):
+        spec = CampaignSpec(difficulties=("easy", "medium"), seeds=range(4),
+                            variants=("CrazyFlie", "Hawk"))
+        assert spec.expand() == spec.expand()
+        assert spec.expand() == CampaignSpec.from_dict(spec.to_dict()).expand()
+
+    def test_scalars_and_strings_coerced(self):
+        spec = CampaignSpec(difficulties="medium", seeds=3,
+                            frequencies_mhz=100, variants="Hawk")
+        assert spec.difficulties == (Difficulty.MEDIUM,)
+        assert spec.seeds == (3,)
+        assert spec.frequencies_mhz == (100.0,)
+        assert spec.size == 1
+
+    def test_round_trip_dict(self):
+        spec = CampaignSpec(name="grid", difficulties=("easy", "hard"),
+                            seeds=(1, 5), control_rates_hz=(50.0, 100.0))
+        clone = CampaignSpec.from_dict(spec.to_dict())
+        assert clone == spec
+
+    def test_unknown_variant_rejected(self):
+        with pytest.raises(ValueError, match="variant"):
+            CampaignSpec(variants=("Falcon",))
+
+    def test_unknown_implementation_rejected(self):
+        with pytest.raises(ValueError, match="implementation"):
+            CampaignSpec(implementations=("gpu",))
+
+    def test_empty_axis_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            CampaignSpec(seeds=())
+
+    def test_unknown_dict_field_rejected(self):
+        with pytest.raises(ValueError, match="unknown campaign fields"):
+            CampaignSpec.from_dict({"difficulty": ["easy"]})
+
+    def test_cell_key_excludes_seed(self):
+        a = EpisodeSpec(difficulty=Difficulty.EASY, seed=0)
+        b = EpisodeSpec(difficulty=Difficulty.EASY, seed=7)
+        c = EpisodeSpec(difficulty=Difficulty.EASY, seed=0, frequency_mhz=250.0)
+        assert a.cell_key() == b.cell_key()
+        assert a.cell_key() != c.cell_key()
+
+
+class TestEpisodeFactory:
+    def test_memoizes_problems_and_socs(self):
+        factory = EpisodeFactory()
+        first = factory.build(EpisodeSpec(Difficulty.EASY, 0), episode_id=0)
+        second = factory.build(EpisodeSpec(Difficulty.MEDIUM, 1), episode_id=1)
+        assert first.problem is second.problem
+        assert first.cache is second.cache
+        assert first.runner.soc is second.runner.soc
+        # A different control rate linearizes a different problem.
+        third = factory.build(EpisodeSpec(Difficulty.EASY, 0,
+                                          control_rate_hz=50.0), episode_id=2)
+        assert third.problem is not first.problem
+
+    def test_ideal_episodes_have_no_soc(self):
+        factory = EpisodeFactory()
+        episode = factory.build(EpisodeSpec(Difficulty.EASY, 0,
+                                            implementation="ideal"),
+                                episode_id=0)
+        assert episode.runner.soc is None
+
+    def test_compatibility_groups_follow_problem_and_settings(self):
+        factory = EpisodeFactory()
+        base = factory.build(EpisodeSpec(Difficulty.EASY, 0), episode_id=0)
+        other_freq = factory.build(EpisodeSpec(Difficulty.HARD, 1,
+                                               frequency_mhz=250.0),
+                                   episode_id=1)
+        other_rate = factory.build(EpisodeSpec(Difficulty.EASY, 0,
+                                               control_rate_hz=50.0),
+                                   episode_id=2)
+        other_iters = factory.build(EpisodeSpec(Difficulty.EASY, 0,
+                                                max_admm_iterations=5),
+                                    episode_id=3)
+        other_variant = factory.build(EpisodeSpec(Difficulty.EASY, 0,
+                                                  variant="Heron"),
+                                      episode_id=4)
+        # Frequency only scales latency outside the solver: same group.
+        assert other_freq.group_key == base.group_key
+        # Control rate, iteration cap, and variant change solver identity.
+        assert other_rate.group_key != base.group_key
+        assert other_iters.group_key != base.group_key
+        assert other_variant.group_key != base.group_key
+        assert base.group_key == compatibility_key(base.problem, base.settings)

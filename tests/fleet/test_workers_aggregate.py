@@ -1,0 +1,233 @@
+"""Tests for campaign sharding, streaming aggregation, and the CLI."""
+
+import json
+import os
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+
+from repro.drone import Difficulty, generate_scenario
+from repro.fleet import (
+    CampaignSpec,
+    FleetAggregator,
+    ReservoirSamples,
+    run_campaign,
+    shard_indices,
+)
+from repro.hil import ScenarioResult
+
+REPO_ROOT = os.path.normpath(os.path.join(os.path.dirname(__file__), "..", ".."))
+
+
+class TestSharding:
+    def test_partition_covers_every_index_once(self):
+        for count, shards in [(10, 3), (4, 4), (7, 1), (3, 8)]:
+            parts = shard_indices(count, shards)
+            flat = sorted(i for part in parts for i in part)
+            assert flat == list(range(count))
+            assert len(parts) <= shards
+            assert all(parts)
+
+    def test_round_robin_interleaving(self):
+        assert shard_indices(7, 2) == [[0, 2, 4, 6], [1, 3, 5]]
+
+    def test_invalid_shards_rejected(self):
+        with pytest.raises(ValueError):
+            shard_indices(4, 0)
+
+    def test_sharded_campaign_matches_in_process(self):
+        spec = CampaignSpec(difficulties=("easy",), seeds=(0, 1, 2, 3),
+                            frequencies_mhz=(100.0, 250.0))
+        in_process = run_campaign(spec, workers=1)
+        sharded = run_campaign(spec, workers=2)
+        assert len(sharded.results) == len(in_process.results) == 8
+        assert sharded.workers == 2
+        for a, b in zip(in_process.results, sharded.results):
+            # Shards change batch widths, so floats carry different GEMM
+            # round-off; discrete outcomes must agree exactly.
+            assert a.success == b.success
+            assert a.crashed == b.crashed
+            assert a.solve_iterations == b.solve_iterations
+            assert a.flight_time_s == b.flight_time_s
+            assert b.final_distance == pytest.approx(a.final_distance,
+                                                     rel=1e-6, abs=1e-9)
+        assert sharded.stats.episodes == 8
+
+    def test_sharded_campaign_is_reproducible(self):
+        spec = CampaignSpec(difficulties=("easy",), seeds=(0, 1),
+                            frequencies_mhz=(100.0, 250.0))
+        first = run_campaign(spec, workers=2)
+        second = run_campaign(spec, workers=2)
+        for a, b in zip(first.results, second.results):
+            assert a.final_distance == b.final_distance
+            assert a.solve_iterations == b.solve_iterations
+
+    def test_memory_bounded_mode_matches_full_mode(self):
+        """keep_results=False aggregates in-shard and drops episode results."""
+        spec = CampaignSpec(difficulties=("easy",), seeds=(0, 1),
+                            frequencies_mhz=(100.0, 250.0))
+        full = run_campaign(spec, workers=1)
+        bounded = run_campaign(spec, workers=1, keep_results=False)
+        assert bounded.results == []
+        assert bounded.rows() == full.rows()
+        assert bounded.overall()["episodes"] == 4
+
+    def test_memory_bounded_mode_sharded(self):
+        spec = CampaignSpec(difficulties=("easy",), seeds=(0, 1),
+                            frequencies_mhz=(100.0, 250.0))
+        bounded = run_campaign(spec, workers=2, keep_results=False)
+        assert bounded.results == []
+        rows = bounded.rows()
+        assert sum(row["episodes"] for row in rows) == 4
+        assert all(row["success_rate"] == 1.0 for row in rows)
+
+    def test_empty_campaign(self):
+        outcome = run_campaign([])
+        assert outcome.results == [] and outcome.rows() == []
+
+
+class TestReservoirSamples:
+    def test_exact_below_cap(self):
+        samples = ReservoirSamples(cap=64)
+        values = list(np.linspace(0.0, 1.0, 50))
+        samples.extend(values)
+        assert samples.values == values
+        assert samples.percentile(50.0) == pytest.approx(np.percentile(values, 50))
+
+    def test_bounded_and_deterministic_above_cap(self):
+        values = np.random.default_rng(0).uniform(size=5000)
+        a = ReservoirSamples(cap=256)
+        b = ReservoirSamples(cap=256)
+        for value in values:
+            a.add(value)
+            b.add(value)
+        assert len(a.values) <= 256
+        assert a.values == b.values
+        assert a.count == 5000
+        # Decimated percentiles stay close to the exact ones.
+        assert a.percentile(50.0) == pytest.approx(
+            np.percentile(values, 50.0), abs=0.1)
+
+    def test_merge_aligns_strides(self):
+        small = ReservoirSamples(cap=1024)
+        small.extend([1.0, 2.0, 3.0])
+        big = ReservoirSamples(cap=32)
+        big.extend(np.arange(200.0))
+        merged = ReservoirSamples(cap=32)
+        merged.extend(np.arange(200.0))
+        merged.merge(small)
+        assert merged.count == 203
+        assert len(merged.values) <= 32
+
+    def test_invalid_cap(self):
+        with pytest.raises(ValueError):
+            ReservoirSamples(cap=1)
+
+
+def _result(difficulty=Difficulty.EASY, success=True, distance=0.1,
+            power=2.0, solve_times=(1e-3, 2e-3)):
+    return ScenarioResult(
+        scenario=generate_scenario(difficulty, 0),
+        implementation="vector", frequency_mhz=100.0, success=success,
+        crashed=not success, final_distance=distance,
+        solve_times=list(solve_times), solve_iterations=[5] * len(solve_times),
+        actuation_power_w=power, soc_power_w=0.05, flight_time_s=4.0)
+
+
+class TestFleetAggregator:
+    def test_streaming_stats_match_direct_computation(self):
+        aggregator = FleetAggregator()
+        distances = [0.05, 0.1, 0.4]
+        for distance, success in zip(distances, (True, True, False)):
+            aggregator.add(_result(distance=distance, success=success),
+                           key=("easy", "vector", 100.0, "CrazyFlie", 100.0, 10))
+        rows = aggregator.rows()
+        assert len(rows) == 1
+        row = rows[0]
+        assert row["episodes"] == 3
+        assert row["success_rate"] == pytest.approx(2 / 3)
+        assert row["crash_rate"] == pytest.approx(1 / 3)
+        assert row["tracking_error_p50_m"] == pytest.approx(
+            np.percentile(distances, 50))
+        assert row["solve_time_p50_ms"] == pytest.approx(1.5)
+        assert row["mean_iterations"] == pytest.approx(5.0)
+
+    def test_cells_keyed_by_configuration(self):
+        aggregator = FleetAggregator()
+        aggregator.add(_result(), key=("easy", "vector", 100.0, "CrazyFlie", 100.0, 10))
+        aggregator.add(_result(), key=("easy", "vector", 250.0, "CrazyFlie", 100.0, 10))
+        assert len(aggregator.cells) == 2
+        assert aggregator.episodes == 2
+        overall = aggregator.overall()
+        assert overall["cells"] == 2 and overall["episodes"] == 2
+
+    def test_merge_equals_single_pass(self):
+        key = ("easy", "vector", 100.0, "CrazyFlie", 100.0, 10)
+        combined = FleetAggregator()
+        left, right = FleetAggregator(), FleetAggregator()
+        for index in range(10):
+            result = _result(distance=0.01 * index, success=index % 3 != 0)
+            combined.add(result, key=key)
+            (left if index % 2 == 0 else right).add(result, key=key)
+        left.merge(right)
+        merged_row = left.rows()[0]
+        combined_row = combined.rows()[0]
+        assert merged_row["episodes"] == combined_row["episodes"]
+        assert merged_row["success_rate"] == combined_row["success_rate"]
+        assert merged_row["tracking_error_p50_m"] == pytest.approx(
+            combined_row["tracking_error_p50_m"])
+
+    def test_default_key_derived_from_result(self):
+        aggregator = FleetAggregator()
+        aggregator.add(_result())
+        row = aggregator.rows()[0]
+        assert row["difficulty"] == "easy"
+        assert row["variant"] == "-"
+
+    def test_rows_sorted_and_stable(self):
+        aggregator = FleetAggregator()
+        aggregator.add(_result(), key=("hard", "vector", 100.0, "CrazyFlie", 100.0, 10))
+        aggregator.add(_result(), key=("easy", "vector", 100.0, "CrazyFlie", 100.0, 10))
+        assert [row["difficulty"] for row in aggregator.rows()] == ["easy", "hard"]
+
+
+class TestExperimentDriver:
+    def test_fleet_campaign_rows(self):
+        from repro.experiments import run_experiment
+
+        rows = run_experiment("fleet_campaign", difficulties=("easy",),
+                              seeds=2, frequencies_mhz=(100.0,))
+        assert len(rows) == 2          # one cell + the overall summary
+        assert rows[0]["episodes"] == 2
+        assert rows[-1]["difficulty"] == "overall"
+
+    def test_fleet_campaign_cached_via_runner(self):
+        from repro.experiments import ExperimentRunner
+
+        runner = ExperimentRunner()
+        kwargs = dict(difficulties=("easy",), seeds=1,
+                      frequencies_mhz=(100.0,))
+        first = runner.run("fleet_campaign", **kwargs)
+        second = runner.run("fleet_campaign", **kwargs)
+        assert runner.misses == 1 and runner.hits == 1
+        assert first == second
+
+
+class TestCampaignCLI:
+    def test_smoke_run_writes_rows(self, tmp_path):
+        output = tmp_path / "campaign.json"
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src")
+        completed = subprocess.run(
+            [sys.executable, os.path.join(REPO_ROOT, "scripts", "run_campaign.py"),
+             "--difficulties", "easy", "--seeds", "2",
+             "--frequencies", "100,250", "--workers", "2",
+             "--output", str(output)],
+            env=env, capture_output=True, text=True, timeout=600)
+        assert completed.returncode == 0, completed.stderr
+        payload = json.loads(output.read_text())
+        assert payload["rows"], "campaign produced no aggregate rows"
+        assert payload["overall"]["episodes"] == 4
+        assert "episodes/s" in completed.stdout
