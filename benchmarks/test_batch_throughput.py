@@ -13,6 +13,7 @@ import time
 
 import numpy as np
 
+from repro.bench import write_bench_report
 from repro.tinympc import BatchTinyMPCSolver, SolverSettings, TinyMPCSolver
 
 BATCH_SIZE = 64
@@ -66,6 +67,13 @@ def test_batch_throughput_at_least_5x(quadrotor_problem, show_rows):
     batched_seconds = _time_best(batched)
     speedup = sequential_seconds / batched_seconds
     solves_per_second = BATCH_SIZE / batched_seconds
+    write_bench_report("batch_throughput", {
+        "batch_size": BATCH_SIZE,
+        "sequential_s_per_fleet": sequential_seconds,
+        "batched_s_per_fleet": batched_seconds,
+        "batched_solves_per_second": solves_per_second,
+        "speedup": speedup,
+    })
     show_rows("Batched solver throughput (B={})".format(BATCH_SIZE), [{
         "variant": "python loop of scalar solves",
         "seconds_per_fleet": sequential_seconds,

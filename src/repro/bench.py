@@ -1,0 +1,340 @@
+"""Perf-regression harness: hot-path microbenchmarks and BENCH_*.json reports.
+
+Every performance claim this project makes is measured here and written to a
+machine-readable ``BENCH_<name>.json`` so future PRs inherit a perf
+trajectory instead of a vibe:
+
+* :func:`run_kernel_hotpath_bench` times every fast kernel and the full ADMM
+  iteration (scalar and batched) against the retained pre-refactor
+  implementations (:mod:`repro.tinympc.naive`), and times a mixed fleet
+  campaign both ways;
+* :func:`measure_iteration_allocations` proves the steady-state iteration
+  allocates zero numpy buffers, via ``tracemalloc`` with numpy's allocation
+  domain;
+* :func:`write_bench_report` emits the shared JSON format consumed by CI
+  (the ``bench-smoke`` job uploads ``BENCH_kernels.json`` as an artifact)
+  and by the throughput benchmarks in ``benchmarks/``.
+
+Run ``python scripts/bench_report.py`` for the CLI entry point, or
+``pytest benchmarks/test_kernel_hotpath.py`` for the asserted thresholds.
+See ``docs/perf.md`` for how to read the numbers.
+"""
+
+from __future__ import annotations
+
+import gc
+import json
+import os
+import sys
+import time
+import tracemalloc
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from .tinympc import (
+    BatchTinyMPCWorkspace,
+    TinyMPCWorkspace,
+    admm_iteration,
+    compute_cache,
+    default_quadrotor_problem,
+)
+from .tinympc import kernels, naive
+from .tinympc.cache import LQRCache
+
+__all__ = [
+    "BENCH_SCHEMA_VERSION",
+    "bench_output_dir",
+    "write_bench_report",
+    "load_bench_report",
+    "time_best",
+    "naive_iteration",
+    "measure_iteration_allocations",
+    "run_kernel_hotpath_bench",
+]
+
+BENCH_SCHEMA_VERSION = 1
+
+# Thresholds shared by the pytest assertions and the CLI report.  The peak
+# ceilings sit well above the measured tracemalloc bookkeeping floor
+# (~1.4 KB) and well below the smallest whole-buffer temporary the old
+# kernels created (scalar ``(N, n)`` state temp ≈ 8 KB peak; batched ≈
+# 190 KB peak), so a reintroduced allocation trips them loudly.
+ALLOC_PEAK_LIMIT_SCALAR = 4096
+ALLOC_PEAK_LIMIT_BATCH = 8192
+
+
+# ---------------------------------------------------------------------------
+# Report format
+# ---------------------------------------------------------------------------
+
+def bench_output_dir() -> Path:
+    """Where BENCH_*.json files land (``$BENCH_DIR`` or the working dir)."""
+    return Path(os.environ.get("BENCH_DIR", "."))
+
+
+def write_bench_report(name: str, metrics: Dict[str, object],
+                       rows: Optional[List[Dict[str, object]]] = None,
+                       smoke: bool = False,
+                       directory: Optional[Path] = None) -> Path:
+    """Write ``BENCH_<name>.json`` in the shared schema and return its path.
+
+    ``metrics`` holds the headline scalars (speedups, allocation counts);
+    ``rows`` an optional per-item table (per-kernel timings, per-variant
+    throughput).  Host metadata is recorded so trajectories across machines
+    are comparable.
+    """
+    payload = {
+        "name": name,
+        "schema": BENCH_SCHEMA_VERSION,
+        "created_unix": time.time(),
+        "python": sys.version.split()[0],
+        "numpy": np.__version__,
+        "smoke": bool(smoke),
+        "metrics": metrics,
+        "rows": rows or [],
+    }
+    directory = directory or bench_output_dir()
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / "BENCH_{}.json".format(name)
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=False)
+        handle.write("\n")
+    return path
+
+
+def load_bench_report(path) -> Dict[str, object]:
+    with open(path) as handle:
+        return json.load(handle)
+
+
+# ---------------------------------------------------------------------------
+# Timing
+# ---------------------------------------------------------------------------
+
+def time_best(fn: Callable[[], object], rounds: int = 7,
+              inner: int = 20) -> float:
+    """Best-of-``rounds`` mean seconds per call over ``inner`` inner calls.
+
+    Best-of is the standard microbenchmark estimator: scheduler noise and
+    cache misses only ever make a round slower, so the minimum round is the
+    closest observation of the true cost.
+    """
+    best = float("inf")
+    for _ in range(rounds):
+        start = time.perf_counter()
+        for _ in range(inner):
+            fn()
+        best = min(best, (time.perf_counter() - start) / inner)
+    return best
+
+
+def naive_iteration(ws: TinyMPCWorkspace, cache: LQRCache) -> None:
+    """One full ADMM iteration through the pre-refactor reference kernels,
+    in the exact order :func:`repro.tinympc.kernels.admm_iteration` runs."""
+    naive.forward_pass_naive(ws, cache)
+    naive.update_slack_naive(ws)
+    naive.update_dual_naive(ws)
+    naive.update_linear_cost_naive(ws, cache)
+    naive.update_residuals_naive(ws)
+    ws.v[...] = ws.vnew
+    ws.z[...] = ws.znew
+    naive.backward_pass_naive(ws, cache)
+
+
+# ---------------------------------------------------------------------------
+# Allocation accounting
+# ---------------------------------------------------------------------------
+
+def measure_iteration_allocations(iterate: Callable[[], None],
+                                  repeats: int = 10) -> Dict[str, int]:
+    """Tracemalloc accounting for a steady-state iteration callable.
+
+    Protocol: tracing is started *before* warmup so every steady-state
+    allocation site is already in tracemalloc's tables, then ``repeats``
+    iterations run between snapshots.  Returns:
+
+    * ``numpy_net_bytes`` — net bytes retained in numpy's allocation domain
+      (``np.lib.tracemalloc_domain``), i.e. actual array-buffer leaks.
+      Zero for an allocation-free hot path.
+    * ``raw_net_bytes`` — net across all domains (includes interpreter
+      bookkeeping noise); reported for context, not asserted.
+    * ``peak_bytes`` — peak traced delta during the window.  Transient
+      buffer temporaries (what the pre-refactor kernels created every call)
+      show up here even though they are freed.
+    """
+    tracemalloc.start()
+    try:
+        for _ in range(5):
+            iterate()
+        gc.collect()
+        before = tracemalloc.take_snapshot()
+        base, _ = tracemalloc.get_traced_memory()
+        tracemalloc.reset_peak()
+        for _ in range(repeats):
+            iterate()
+        current, peak = tracemalloc.get_traced_memory()
+        after = tracemalloc.take_snapshot()
+    finally:
+        tracemalloc.stop()
+    domain = [tracemalloc.DomainFilter(inclusive=True,
+                                       domain=np.lib.tracemalloc_domain)]
+    numpy_net = sum(stat.size_diff for stat in
+                    after.filter_traces(domain).compare_to(
+                        before.filter_traces(domain), "lineno"))
+    return {
+        "numpy_net_bytes": int(numpy_net),
+        "raw_net_bytes": int(current - base),
+        "peak_bytes": int(peak - base),
+    }
+
+
+# ---------------------------------------------------------------------------
+# Kernel hot-path benchmark
+# ---------------------------------------------------------------------------
+
+_KERNEL_PAIRS: Tuple[Tuple[str, Callable, Callable], ...] = (
+    ("forward_pass",
+     lambda ws, cache: kernels.forward_pass(ws, cache),
+     lambda ws, cache: naive.forward_pass_naive(ws, cache)),
+    ("backward_pass",
+     lambda ws, cache: kernels.backward_pass(ws, cache),
+     lambda ws, cache: naive.backward_pass_naive(ws, cache)),
+    ("update_slack",
+     lambda ws, cache: kernels.update_slack(ws),
+     lambda ws, cache: naive.update_slack_naive(ws)),
+    ("update_dual",
+     lambda ws, cache: kernels.update_dual(ws),
+     lambda ws, cache: naive.update_dual_naive(ws)),
+    ("update_linear_cost",
+     lambda ws, cache: kernels.update_linear_cost(ws, cache),
+     lambda ws, cache: naive.update_linear_cost_naive(ws, cache)),
+    ("update_residuals",
+     lambda ws, cache: kernels.update_residuals(ws),
+     lambda ws, cache: naive.update_residuals_naive(ws)),
+)
+
+
+def _seeded_workspace(problem, batch: Optional[int]):
+    ws = (TinyMPCWorkspace(problem) if batch is None
+          else BatchTinyMPCWorkspace(problem, batch=batch))
+    ws.x[..., 0, 0] = 0.1
+    ws.x[..., 0, 2] = -0.05
+    return ws
+
+
+def _campaign_speedup(smoke: bool, rounds: int) -> Dict[str, float]:
+    """Time one mixed fleet campaign on the live path vs "current main".
+
+    The reference run emulates pre-refactor main end to end: both solvers
+    route through the pre-refactor kernels
+    (:func:`~repro.tinympc.naive.use_naive_kernels`), plants and episodes
+    through the pre-refactor physics
+    (:func:`~repro.drone.reference.use_vectorized_physics`), and every
+    scheduler gets a throwaway
+    :class:`~repro.fleet.scheduler.SolverPool` — main built solver state
+    from scratch per run.  The live run uses the warmed process pool and
+    the rewritten hot paths.  Both runs produce bit-identical episode
+    outcomes; only the clock differs.
+    """
+    from contextlib import ExitStack
+
+    from .drone.reference import use_vectorized_physics
+    from .fleet import CampaignSpec, run_campaign
+    from .fleet.scheduler import SolverPool
+    from .fleet import scheduler as fleet_scheduler
+    from .tinympc import use_naive_kernels
+
+    spec = CampaignSpec(
+        name="hotpath-bench",
+        difficulties=("easy", "medium"),
+        seeds=tuple(range(2 if smoke else 8)),
+        frequencies_mhz=(100.0, 250.0))
+
+    def timed_run() -> float:
+        start = time.perf_counter()
+        run_campaign(spec)
+        return time.perf_counter() - start
+
+    run_campaign(spec)                      # warm the pool + factories
+    fast_seconds = min(timed_run() for _ in range(rounds))
+
+    saved_pool = fleet_scheduler._GLOBAL_POOL
+    try:
+        naive_seconds = float("inf")
+        with ExitStack() as stack:
+            stack.enter_context(use_naive_kernels())
+            stack.enter_context(use_vectorized_physics())
+            for _ in range(rounds):
+                # Fresh pool per run: pre-refactor main rebuilt every
+                # solver workspace per scheduler run.
+                fleet_scheduler._GLOBAL_POOL = SolverPool()
+                naive_seconds = min(naive_seconds, timed_run())
+    finally:
+        fleet_scheduler._GLOBAL_POOL = saved_pool
+
+    return {
+        "fleet_campaign_episodes": float(spec.size),
+        "fleet_campaign_s_fast": fast_seconds,
+        "fleet_campaign_s_naive": naive_seconds,
+        "fleet_campaign_speedup": naive_seconds / fast_seconds,
+    }
+
+
+def run_kernel_hotpath_bench(smoke: bool = False, campaign: bool = True
+                             ) -> Tuple[Dict[str, object],
+                                        List[Dict[str, object]]]:
+    """Measure the kernel hot path; returns ``(metrics, rows)``.
+
+    ``rows`` is the per-kernel table (fast vs naive, scalar and batched);
+    ``metrics`` carries the headline full-iteration and fleet-campaign
+    speedups plus the allocation accounting.  ``smoke=True`` shrinks rounds
+    and the campaign grid for CI smoke jobs; the numbers stay real, just
+    noisier.
+    """
+    problem = default_quadrotor_problem()
+    cache = compute_cache(problem)
+    rounds = 3 if smoke else 7
+    inner_scalar = 20 if smoke else 60
+    inner_batch = 5 if smoke else 20
+
+    layouts = (("scalar", None, inner_scalar), ("batch16", 16, inner_batch),
+               ("batch64", 64, inner_batch))
+    rows: List[Dict[str, object]] = []
+    metrics: Dict[str, object] = {}
+
+    for layout, batch, inner in layouts:
+        ws_fast = _seeded_workspace(problem, batch)
+        ws_naive = _seeded_workspace(problem, batch)
+        for name, fast_fn, naive_fn in _KERNEL_PAIRS:
+            fast_us = 1e6 * time_best(lambda: fast_fn(ws_fast, cache),
+                                      rounds, inner)
+            naive_us = 1e6 * time_best(lambda: naive_fn(ws_naive, cache),
+                                       rounds, inner)
+            rows.append({"kernel": name, "layout": layout,
+                         "fast_us": fast_us, "naive_us": naive_us,
+                         "speedup": naive_us / fast_us})
+        fast_us = 1e6 * time_best(lambda: admm_iteration(ws_fast, cache),
+                                  rounds, inner)
+        naive_us = 1e6 * time_best(lambda: naive_iteration(ws_naive, cache),
+                                   rounds, inner)
+        rows.append({"kernel": "full_iteration", "layout": layout,
+                     "fast_us": fast_us, "naive_us": naive_us,
+                     "speedup": naive_us / fast_us})
+        metrics["{}_iteration_us_fast".format(layout)] = fast_us
+        metrics["{}_iteration_us_naive".format(layout)] = naive_us
+        metrics["{}_iteration_speedup".format(layout)] = naive_us / fast_us
+        metrics["{}_fused_kr".format(layout)] = bool(ws_fast.scratch.kr_ok)
+
+    for layout, batch in (("scalar", None), ("batch64", 64)):
+        ws = _seeded_workspace(problem, batch)
+        counts = measure_iteration_allocations(
+            lambda: admm_iteration(ws, cache))
+        for key, value in counts.items():
+            metrics["alloc_{}_{}".format(layout, key)] = value
+
+    if campaign:
+        metrics.update(_campaign_speedup(smoke, rounds=2 if smoke else 3))
+
+    return metrics, rows

@@ -10,7 +10,8 @@ from .quadrotor import (
     hover_state,
 )
 from .linearize import continuous_jacobians, discretize_zoh, linearize_hover
-from .rotor import hover_power, induced_power, rotor_power, total_actuation_power
+from .rotor import (actuation_power_fn, hover_power, induced_power,
+                    rotor_power, total_actuation_power)
 from .scenarios import (
     DIFFICULTY_SPECS,
     Difficulty,
@@ -47,6 +48,7 @@ __all__ = [
     "continuous_jacobians",
     "discretize_zoh",
     "linearize_hover",
+    "actuation_power_fn",
     "hover_power",
     "induced_power",
     "rotor_power",

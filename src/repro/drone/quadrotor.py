@@ -155,40 +155,37 @@ class Quadrotor:
         self._external_torque = np.zeros(3)
 
     # -- dynamics ----------------------------------------------------------------
-    def derivatives(self, state: np.ndarray, thrusts: np.ndarray) -> np.ndarray:
-        """Continuous-time state derivative for given rotor thrusts.
+    def _derivatives_scalar(self, s, t0: float, t1: float, t2: float,
+                            t3: float, fx: float, fy: float, fz: float,
+                            ex: float, ey: float, ez: float):
+        """Continuous-time derivative as a 12-tuple of Python floats.
 
-        Written as scalar arithmetic (no intermediate matrix builds or
-        numpy dispatch) because four of these run per RK4 step and the
-        physics loop is the serial per-episode cost the fleet engine cannot
-        batch — this formulation is ~10x faster than the equivalent
-        ``mix @ thrusts`` / ``R @ [0, 0, T]`` / ``E @ omega`` matrix chain.
-        Expressions follow left-to-right dot-product order; results agree
-        with the matrix formulation to summation-order round-off (~1e-14),
-        and ``tests/drone/test_drone.py`` pins the equivalence.
+        Written as scalar arithmetic (no intermediate matrix builds, numpy
+        dispatch, or array allocation) because four of these run per RK4
+        step and the physics loop is the serial per-episode cost the fleet
+        engine cannot batch.  Expressions follow left-to-right dot-product
+        order; results agree with the matrix formulation to summation-order
+        round-off (~1e-14), and ``tests/drone/test_drone.py`` pins the
+        equivalence.  ``s`` is a 12-element sequence of floats.
         """
         mass = self._mass
         ixx, iyy, izz = self._inertia_tuple
         mix0, mix1, mix2, mix3 = self._mix_rows
-        t0 = float(thrusts[0])
-        t1 = float(thrusts[1])
-        t2 = float(thrusts[2])
-        t3 = float(thrusts[3])
         # wrench = mix @ thrusts, row by row in dot-product order
         total_thrust = mix0[0] * t0 + mix0[1] * t1 + mix0[2] * t2 + mix0[3] * t3
         torque_x = mix1[0] * t0 + mix1[1] * t1 + mix1[2] * t2 + mix1[3] * t3
         torque_y = mix2[0] * t0 + mix2[1] * t1 + mix2[2] * t2 + mix2[3] * t3
         torque_z = mix3[0] * t0 + mix3[1] * t1 + mix3[2] * t2 + mix3[3] * t3
 
-        roll = float(state[3])
-        pitch = float(state[4])
-        yaw = float(state[5])
-        vx = float(state[6])
-        vy = float(state[7])
-        vz = float(state[8])
-        wx = float(state[9])
-        wy = float(state[10])
-        wz = float(state[11])
+        roll = s[3]
+        pitch = s[4]
+        yaw = s[5]
+        vx = s[6]
+        vy = s[7]
+        vz = s[8]
+        wx = s[9]
+        wy = s[10]
+        wz = s[11]
 
         cr, sr = math.cos(roll), math.sin(roll)
         cp, sp = math.cos(pitch), math.sin(pitch)
@@ -196,9 +193,6 @@ class Quadrotor:
 
         # thrust_world = R @ [0, 0, total_thrust]: only R's third column
         # survives (the zero terms vanish exactly in floating point).
-        fx = float(self._external_force[0])
-        fy = float(self._external_force[1])
-        fz = float(self._external_force[2])
         tw_x = (cy * sp * cr + sy * sr) * total_thrust
         tw_y = (sy * sp * cr - cy * sr) * total_thrust
         tw_z = (cp * cr) * total_thrust
@@ -212,9 +206,6 @@ class Quadrotor:
 
         # omega_dot = (torque + ext - omega x (I omega)) / I
         hx, hy, hz = ixx * wx, iyy * wy, izz * wz
-        ex = float(self._external_torque[0])
-        ey = float(self._external_torque[1])
-        ez = float(self._external_torque[2])
         wd_x = (torque_x + ex - (wy * hz - wz * hy)) / ixx
         wd_y = (torque_y + ey - (wz * hx - wx * hz)) / iyy
         wd_z = (torque_z + ez - (wx * hy - wy * hx)) / izz
@@ -227,30 +218,78 @@ class Quadrotor:
         rpy_y = 0.0 * wx + cr * wy + -sr * wz
         rpy_z = 0.0 * wx + sr / cp_safe * wy + cr / cp_safe * wz
 
-        return np.array([vx, vy, vz, rpy_x, rpy_y, rpy_z,
-                         ax, ay, az, wd_x, wd_y, wd_z])
+        return (vx, vy, vz, rpy_x, rpy_y, rpy_z,
+                ax, ay, az, wd_x, wd_y, wd_z)
+
+    def derivatives(self, state: np.ndarray, thrusts: np.ndarray) -> np.ndarray:
+        """Continuous-time state derivative for given rotor thrusts."""
+        s = [float(value) for value in state]
+        return np.array(self._derivatives_scalar(
+            s, float(thrusts[0]), float(thrusts[1]), float(thrusts[2]),
+            float(thrusts[3]),
+            float(self._external_force[0]), float(self._external_force[1]),
+            float(self._external_force[2]),
+            float(self._external_torque[0]), float(self._external_torque[1]),
+            float(self._external_torque[2])))
 
     def _clip_thrusts(self, commanded: np.ndarray) -> np.ndarray:
         return np.clip(commanded, 0.0, self._max_thrust)
 
     def step(self, commanded_thrusts: np.ndarray) -> np.ndarray:
-        """Advance the simulation by one physics timestep (RK4)."""
-        commanded = self._clip_thrusts(np.asarray(commanded_thrusts, dtype=np.float64))
+        """Advance the simulation by one physics timestep (RK4).
+
+        The whole step — thrust clipping, rotor lag, and the four-stage RK4
+        combination — runs as scalar Python arithmetic and allocates exactly
+        two small arrays (the new ``rotor_thrusts`` and ``state``).  Every
+        expression preserves the floating-point operation order of the
+        vectorized formulation it replaced (``clip`` is ``min(max(.))``,
+        the stage sums are evaluated left-to-right per element), so
+        trajectories are bit-for-bit unchanged.
+        """
+        c = np.asarray(commanded_thrusts, dtype=np.float64)
+        limit = self._max_thrust
+        c0 = min(max(float(c[0]), 0.0), limit)
+        c1 = min(max(float(c[1]), 0.0), limit)
+        c2 = min(max(float(c[2]), 0.0), limit)
+        c3 = min(max(float(c[3]), 0.0), limit)
         if self.rotor_dynamics:
             alpha = self.dt / max(self.params.motor_time_constant, self.dt)
             alpha = min(alpha, 1.0)
-            self.rotor_thrusts = self.rotor_thrusts + alpha * (commanded - self.rotor_thrusts)
+            rotors = self.rotor_thrusts
+            r0 = float(rotors[0]) + alpha * (c0 - float(rotors[0]))
+            r1 = float(rotors[1]) + alpha * (c1 - float(rotors[1]))
+            r2 = float(rotors[2]) + alpha * (c2 - float(rotors[2]))
+            r3 = float(rotors[3]) + alpha * (c3 - float(rotors[3]))
         else:
-            self.rotor_thrusts = commanded
-        thrusts = self._clip_thrusts(self.rotor_thrusts)
+            r0, r1, r2, r3 = c0, c1, c2, c3
+        self.rotor_thrusts = np.array((r0, r1, r2, r3))
+        t0 = min(max(r0, 0.0), limit)
+        t1 = min(max(r1, 0.0), limit)
+        t2 = min(max(r2, 0.0), limit)
+        t3 = min(max(r3, 0.0), limit)
+
+        fx = float(self._external_force[0])
+        fy = float(self._external_force[1])
+        fz = float(self._external_force[2])
+        ex = float(self._external_torque[0])
+        ey = float(self._external_torque[1])
+        ez = float(self._external_torque[2])
+        deriv = self._derivatives_scalar
 
         dt = self.dt
-        state = self.state
-        k1 = self.derivatives(state, thrusts)
-        k2 = self.derivatives(state + 0.5 * dt * k1, thrusts)
-        k3 = self.derivatives(state + 0.5 * dt * k2, thrusts)
-        k4 = self.derivatives(state + dt * k3, thrusts)
-        self.state = state + (dt / 6.0) * (k1 + 2.0 * k2 + 2.0 * k3 + k4)
+        half = 0.5 * dt
+        sixth = dt / 6.0
+        s = self.state.tolist()
+        k1 = deriv(s, t0, t1, t2, t3, fx, fy, fz, ex, ey, ez)
+        stage = [a + half * b for a, b in zip(s, k1)]
+        k2 = deriv(stage, t0, t1, t2, t3, fx, fy, fz, ex, ey, ez)
+        stage = [a + half * b for a, b in zip(s, k2)]
+        k3 = deriv(stage, t0, t1, t2, t3, fx, fy, fz, ex, ey, ez)
+        stage = [a + dt * b for a, b in zip(s, k3)]
+        k4 = deriv(stage, t0, t1, t2, t3, fx, fy, fz, ex, ey, ez)
+        self.state = np.array(
+            [a + sixth * (b1 + 2.0 * b2 + 2.0 * b3 + b4)
+             for a, b1, b2, b3, b4 in zip(s, k1, k2, k3, k4)])
         self.time += dt
         return self.state.copy()
 
@@ -273,12 +312,18 @@ class Quadrotor:
 
     def has_crashed(self, max_tilt: float = 1.2, min_altitude: float = -0.05,
                     max_distance: float = 25.0) -> bool:
-        """Heuristic crash detector: excessive tilt, ground hit, or fly-away."""
-        roll, pitch, _ = self.state[ATTITUDE]
-        if abs(roll) > max_tilt or abs(pitch) > max_tilt:
+        """Heuristic crash detector: excessive tilt, ground hit, or fly-away.
+
+        Runs once per physics tick, so the common all-clear path sticks to
+        scalar reads; the distance check is ``sqrt(p . p)`` — bit-identical
+        to ``np.linalg.norm`` for a real 1-D vector, minus the wrapper.
+        """
+        state = self.state
+        if abs(float(state[3])) > max_tilt or abs(float(state[4])) > max_tilt:
             return True
-        if self.state[2] < min_altitude:
+        if float(state[2]) < min_altitude:
             return True
-        if np.linalg.norm(self.state[POSITION]) > max_distance:
+        position = state[POSITION]
+        if math.sqrt(float(np.dot(position, position))) > max_distance:
             return True
-        return bool(np.any(~np.isfinite(self.state)))
+        return bool(np.any(~np.isfinite(state)))

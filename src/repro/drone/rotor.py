@@ -20,7 +20,8 @@ import numpy as np
 
 from .variants import AIR_DENSITY, DroneParams
 
-__all__ = ["induced_power", "rotor_power", "total_actuation_power", "hover_power"]
+__all__ = ["induced_power", "rotor_power", "total_actuation_power",
+           "actuation_power_fn", "hover_power"]
 
 
 def induced_power(thrust: float, disk_area: float,
@@ -42,6 +43,31 @@ def total_actuation_power(thrusts: Sequence[float], params: DroneParams,
                           electrical_efficiency: float = 0.55) -> float:
     """Total electrical actuation power for all four rotors."""
     return float(sum(rotor_power(t, params, electrical_efficiency) for t in thrusts))
+
+
+def actuation_power_fn(params: DroneParams,
+                       electrical_efficiency: float = 0.55):
+    """A hoisted-constant closure computing :func:`total_actuation_power`.
+
+    The HIL episode loop evaluates actuation power every physics tick;
+    recomputing ``sqrt(2 rho A)`` and re-validating the efficiency per tick
+    is pure overhead.  The closure performs the exact same operations in
+    the exact same order (``(t^1.5 / sqrt(2 rho A)) / eta``, summed
+    left-to-right from 0.0), so its results are bit-identical to the
+    per-call formulation — ``tests/drone/test_drone.py`` pins this.
+    """
+    if not 0.0 < electrical_efficiency <= 1.0:
+        raise ValueError("electrical_efficiency must be in (0, 1]")
+    denominator = np.sqrt(2.0 * AIR_DENSITY * params.rotor_disk_area)
+
+    def total(thrusts: Sequence[float]) -> float:
+        power = 0.0
+        for thrust in thrusts:
+            thrust = max(float(thrust), 0.0)
+            power += (thrust ** 1.5 / denominator) / electrical_efficiency
+        return float(power)
+
+    return total
 
 
 def hover_power(params: DroneParams, electrical_efficiency: float = 0.55) -> float:

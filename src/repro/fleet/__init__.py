@@ -32,7 +32,9 @@ from .scheduler import (
     FleetEpisode,
     FleetScheduler,
     SchedulerStats,
+    SolverPool,
     compatibility_key,
+    solver_pool,
 )
 from .workers import CampaignResult, run_campaign, shard_indices
 
@@ -47,7 +49,9 @@ __all__ = [
     "FleetEpisode",
     "FleetScheduler",
     "SchedulerStats",
+    "SolverPool",
     "compatibility_key",
+    "solver_pool",
     "CampaignResult",
     "run_campaign",
     "shard_indices",

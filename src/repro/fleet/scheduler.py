@@ -57,8 +57,8 @@ from ..tinympc import (
 )
 from ..tinympc.cache import LQRCache, compute_cache
 
-__all__ = ["FleetEpisode", "FleetScheduler", "SchedulerStats",
-           "compatibility_key"]
+__all__ = ["FleetEpisode", "FleetScheduler", "SchedulerStats", "SolverPool",
+           "compatibility_key", "solver_pool"]
 
 
 def compatibility_key(problem: MPCProblem, settings: SolverSettings) -> Tuple:
@@ -136,6 +136,87 @@ class SchedulerStats:
         }
 
 
+class SolverPool:
+    """Process-local pool of batched solvers keyed by problem/settings/width.
+
+    A :class:`~repro.tinympc.batch.BatchTinyMPCSolver` owns sizable arenas:
+    the stacked workspace, its kernel scratch (:class:`~repro.tinympc
+    .workspace.SolveScratch` — prebuilt views, cursors, full-shape bounds),
+    and the freeze/restore store.  Campaign runs, repeated benchmarks, and
+    back-to-back scheduler invocations used to rebuild all of it per run;
+    the pool parks released solvers keyed by
+    ``(problem_hash, settings..., width)`` and hands them back reset, so a
+    re-dispatched group's warmup cost is one ``reset()`` memset.
+
+    Numerically invisible: a pooled solver is released only after
+    ``reset()`` (zeroed workspace, cleared warm-start flags), the key pins
+    the exact problem content and termination settings, and
+    ``compute_cache`` is deterministic — so a reused solver is bit-for-bit
+    a fresh one.
+
+    Retention is bounded: at most ``max_idle_per_key`` solvers are parked
+    per key (excess releases are simply dropped for the GC), so a
+    long-lived process running many differently-shaped campaigns cannot
+    accumulate arenas without limit.  ``clear()`` empties the pool
+    outright.
+    """
+
+    def __init__(self, max_idle_per_key: int = 4) -> None:
+        if max_idle_per_key < 1:
+            raise ValueError("max_idle_per_key must be at least 1")
+        self._idle: Dict[Tuple, List[BatchTinyMPCSolver]] = {}
+        self.max_idle_per_key = max_idle_per_key
+        self.acquires = 0
+        self.hits = 0
+
+    @staticmethod
+    def _key(problem: MPCProblem, settings: SolverSettings,
+             capacity: int) -> Tuple:
+        return compatibility_key(problem, settings) + (capacity,)
+
+    def acquire(self, problem: MPCProblem, settings: SolverSettings,
+                capacity: int,
+                cache: Optional[LQRCache] = None) -> BatchTinyMPCSolver:
+        """A reset solver for this (problem, settings, width) — pooled if one
+        is idle, freshly constructed otherwise."""
+        self.acquires += 1
+        stack = self._idle.get(self._key(problem, settings, capacity))
+        if stack:
+            self.hits += 1
+            return stack.pop()     # released solvers are already reset
+        return BatchTinyMPCSolver(problem, capacity, settings,
+                                  cache or compute_cache(problem))
+
+    def release(self, solver: BatchTinyMPCSolver) -> None:
+        """Park a solver for reuse.  The caller must not touch it afterwards.
+
+        Beyond ``max_idle_per_key`` parked solvers for the same key, the
+        release is a drop: the solver is simply left to the garbage
+        collector.
+        """
+        key = self._key(solver.problem, solver.settings, solver.batch_size)
+        stack = self._idle.setdefault(key, [])
+        if len(stack) >= self.max_idle_per_key:
+            return
+        solver.reset()
+        stack.append(solver)
+
+    def clear(self) -> None:
+        self._idle.clear()
+
+    @property
+    def idle_count(self) -> int:
+        return sum(len(stack) for stack in self._idle.values())
+
+
+_GLOBAL_POOL = SolverPool()
+
+
+def solver_pool() -> SolverPool:
+    """The process-global solver pool used by default by schedulers."""
+    return _GLOBAL_POOL
+
+
 class _ScalarGroup:
     """Solver group backed by per-episode scalar solvers (the exact path)."""
 
@@ -167,6 +248,9 @@ class _ScalarGroup:
     def release(self, episode_id: int) -> None:
         self._solvers.pop(episode_id, None)
 
+    def close(self) -> None:
+        """Scalar solvers are per-episode and cheap; nothing is pooled."""
+
 
 class _BatchGroup:
     """Solver group backed by one fixed-width batched solver.
@@ -179,12 +263,17 @@ class _BatchGroup:
     """
 
     def __init__(self, problem: MPCProblem, settings: SolverSettings,
-                 cache: Optional[LQRCache], capacity: int) -> None:
+                 cache: Optional[LQRCache], capacity: int,
+                 pool: Optional[SolverPool] = None) -> None:
         self.problem = problem
         self.settings = settings
         self.capacity = capacity
-        self.solver = BatchTinyMPCSolver(problem, capacity, settings,
-                                         cache or compute_cache(problem))
+        self.pool = pool
+        if pool is not None:
+            self.solver = pool.acquire(problem, settings, capacity, cache)
+        else:
+            self.solver = BatchTinyMPCSolver(problem, capacity, settings,
+                                             cache or compute_cache(problem))
         self._carried: Dict[int, Dict[str, np.ndarray]] = {}
         self._x0 = np.zeros((capacity, problem.state_dim))
         self._goal = np.zeros((capacity, problem.state_dim))
@@ -208,7 +297,10 @@ class _BatchGroup:
                 responses[request.episode] = (
                     solution.inputs[slot, 0].copy(),
                     int(solution.iterations[slot]))
-                self._carried[request.episode] = self.solver.export_slot(slot)
+                # Re-export into the episode's carried arrays in place; a
+                # fresh snapshot is allocated only on first export.
+                self._carried[request.episode] = self.solver.export_slot(
+                    slot, out=self._carried.get(request.episode))
             stats.dispatches += 1
             stats.batched_solves += width
             stats.batch_widths.append(width)
@@ -217,6 +309,12 @@ class _BatchGroup:
 
     def release(self, episode_id: int) -> None:
         self._carried.pop(episode_id, None)
+
+    def close(self) -> None:
+        """Return the solver to the pool (the group must not solve again)."""
+        if self.pool is not None:
+            self.pool.release(self.solver)
+            self.solver = None
 
 
 class FleetScheduler:
@@ -231,15 +329,22 @@ class FleetScheduler:
         max_batch: cap on batch width (slots); groups larger than this share
             slots across dispatches.  ``None`` sizes each group's solver to
             its population for maximal throughput.
+        pool: the :class:`SolverPool` batched groups draw their solvers
+            from and return them to after the run, so repeated campaigns
+            reuse workspace arenas instead of reallocating them.  Defaults
+            to the process-global pool; pass ``None``-like behavior by
+            giving each scheduler its own fresh ``SolverPool()``.
     """
 
     def __init__(self, episodes: Sequence[FleetEpisode], batching: bool = True,
-                 max_batch: Optional[int] = None) -> None:
+                 max_batch: Optional[int] = None,
+                 pool: Optional[SolverPool] = None) -> None:
         self.episodes = list(episodes)
         self.batching = batching
         if max_batch is not None and max_batch < 1:
             raise ValueError("max_batch must be at least 1")
         self.max_batch = max_batch
+        self.pool = pool if pool is not None else solver_pool()
         self.stats = SchedulerStats()
         seen = set()
         for episode in self.episodes:
@@ -271,7 +376,7 @@ class FleetScheduler:
                 if self.max_batch is not None:
                     capacity = min(capacity, self.max_batch)
                 groups[key] = _BatchGroup(first.problem, first.settings,
-                                          first.cache, capacity)
+                                          first.cache, capacity, self.pool)
         return groups, order
 
     # -- main entry point -------------------------------------------------------
@@ -298,19 +403,24 @@ class FleetScheduler:
                 return
             pending.setdefault(episode.group_key, []).append(request)
 
-        for episode in self.episodes:
-            steppers[episode.episode_id] = episode.runner.run()
-            advance(episode, None)
+        try:
+            for episode in self.episodes:
+                steppers[episode.episode_id] = episode.runner.run()
+                advance(episode, None)
 
-        while pending:
-            # Event-driven dispatch: the group holding the earliest pending
-            # request goes first (first-seen group order breaks time ties).
-            key = min(pending, key=lambda k: (
-                min(r.time for r in pending[k]), group_rank[k]))
-            requests = pending.pop(key)
-            requests.sort(key=lambda r: (r.time, r.episode))
-            responses = groups[key].solve(requests, self.stats)
-            for request in requests:
-                advance(by_id[request.episode], responses[request.episode])
+            while pending:
+                # Event-driven dispatch: the group holding the earliest
+                # pending request goes first (first-seen group order breaks
+                # time ties).
+                key = min(pending, key=lambda k: (
+                    min(r.time for r in pending[k]), group_rank[k]))
+                requests = pending.pop(key)
+                requests.sort(key=lambda r: (r.time, r.episode))
+                responses = groups[key].solve(requests, self.stats)
+                for request in requests:
+                    advance(by_id[request.episode], responses[request.episode])
+        finally:
+            for group in groups.values():
+                group.close()
 
         return [episode.runner.result for episode in self.episodes]

@@ -37,9 +37,9 @@ from ..drone import (
     DroneParams,
     Quadrotor,
     Scenario,
+    actuation_power_fn,
     hover_input,
     hover_state,
-    total_actuation_power,
 )
 from .metrics import ScenarioResult
 from .soc import SoCModel
@@ -94,6 +94,9 @@ class EpisodeRunner:
         self.state_dim = state_dim
         self.episode_id = episode_id
         self.plant = Quadrotor(params, dt=config.physics_dt)
+        # Hoisted-constant power model: evaluated every physics tick, and
+        # bit-identical to calling total_actuation_power per tick.
+        self._actuation_power = actuation_power_fn(params)
         self._result: Optional[ScenarioResult] = None
         if not config.is_ideal and soc is None:
             raise ValueError("non-ideal episodes need a compiled SoCModel")
@@ -181,8 +184,8 @@ class EpisodeRunner:
                     next_control_time += periods_behind * control_period
 
             plant.step(command)
-            actuation_energy += total_actuation_power(
-                plant.rotor_thrusts, self.params) * config.physics_dt
+            actuation_energy += self._actuation_power(
+                plant.rotor_thrusts) * config.physics_dt
             if config.record_trajectory:
                 positions.append(plant.position)
             if plant.has_crashed():

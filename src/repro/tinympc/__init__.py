@@ -2,7 +2,7 @@
 
 from .problem import MPCProblem, default_quadrotor_problem, problem_hash
 from .cache import LQRCache, compute_cache, dare, riccati_recursion
-from .workspace import BatchTinyMPCWorkspace, TinyMPCWorkspace
+from .workspace import BatchTinyMPCWorkspace, SolveScratch, TinyMPCWorkspace
 from .solver import SolverSettings, TinyMPCSolution, TinyMPCSolver
 from .batch import BatchTinyMPCSolution, BatchTinyMPCSolver
 from .kernels import (
@@ -11,9 +11,11 @@ from .kernels import (
     ITERATIVE_KERNELS,
     KERNEL_CLASSES,
     REDUCTION_KERNELS,
+    admm_iteration,
     build_iteration_program,
     kernel_flop_breakdown,
 )
+from .naive import use_naive_kernels
 from .reference import (
     ReferenceSolution,
     condensed_qp_solution,
@@ -31,6 +33,9 @@ __all__ = [
     "riccati_recursion",
     "TinyMPCWorkspace",
     "BatchTinyMPCWorkspace",
+    "SolveScratch",
+    "admm_iteration",
+    "use_naive_kernels",
     "SolverSettings",
     "TinyMPCSolution",
     "TinyMPCSolver",

@@ -39,15 +39,8 @@ from typing import Dict, Iterator, Optional
 
 import numpy as np
 
+from . import kernels
 from .cache import LQRCache, compute_cache
-from .kernels import (
-    backward_pass,
-    compute_residuals,
-    forward_pass,
-    update_dual,
-    update_linear_cost,
-    update_slack,
-)
 from .problem import MPCProblem
 from .solver import SolverSettings, TinyMPCSolution
 from .workspace import (
@@ -132,6 +125,11 @@ class BatchTinyMPCSolver:
                        for name in WORKSPACE_BUFFERS}
         self._residual_store = {name: np.full(batch_size, np.inf)
                                 for name in RESIDUAL_FIELDS}
+        # Preallocated per-iteration mask scratch so the steady-state solve
+        # loop allocates nothing (see the zero-allocation benchmark).
+        self._live = np.empty(batch_size, dtype=bool)
+        self._newly = np.empty(batch_size, dtype=bool)
+        self._term_scratch = np.empty(batch_size, dtype=bool)
         self.total_batch_solves = 0
         self.total_instance_solves = 0
         self.total_iterations = 0
@@ -189,28 +187,35 @@ class BatchTinyMPCSolver:
 
         iterations = np.zeros(B, dtype=int)
         converged = np.zeros(B, dtype=bool)
+        live, newly = self._live, self._newly
+        # Kernels are dispatched through the module so the benchmark harness
+        # can swap in the pre-refactor reference implementations; the mask
+        # bookkeeping reuses preallocated scratch to keep the steady-state
+        # iteration allocation-free.
         for iteration in range(1, settings.max_iterations + 1):
-            live = active & ~converged
+            np.logical_not(converged, out=live)
+            np.logical_and(active, live, out=live)
             iterations[live] = iteration
-            forward_pass(ws, self.cache)
-            update_slack(ws)
-            update_dual(ws)
-            update_linear_cost(ws, self.cache)
-            newly = None
-            if iteration % settings.check_termination_every == 0:
-                compute_residuals(ws)
-                newly = live & self._converged_mask()
+            kernels.forward_pass(ws, self.cache)
+            kernels.update_slack(ws)
+            kernels.update_dual(ws)
+            kernels.update_linear_cost(ws, self.cache)
+            checked = iteration % settings.check_termination_every == 0
+            if checked:
+                kernels.update_residuals(ws)
+                self._converged_mask_into(newly)
+                np.logical_and(live, newly, out=newly)
             # Keep previous slack iterates for the next dual residual.
             ws.v[...] = ws.vnew
             ws.z[...] = ws.znew
-            if newly is not None and newly.any():
+            if checked and newly.any():
                 # Snapshot at exactly the state the scalar solver stops in.
                 self._save(np.flatnonzero(newly))
                 converged |= newly
                 frozen |= newly
-            if not (active & ~converged).any():
-                break
-            backward_pass(ws, self.cache)
+                if not (active & ~converged).any():
+                    break
+            kernels.backward_pass(ws, self.cache)
 
         if frozen.any():
             self._restore(np.flatnonzero(frozen))
@@ -242,17 +247,27 @@ class BatchTinyMPCSolver:
     # numerically identical to giving every episode a persistent slot of the
     # same batch width.
 
-    def export_slot(self, index: int) -> Dict[str, np.ndarray]:
+    def export_slot(self, index: int,
+                    out: Optional[Dict[str, np.ndarray]] = None
+                    ) -> Dict[str, np.ndarray]:
         """Copy one slot's carried solver state (for later ``import_slot``).
 
         The snapshot contains every workspace buffer plus the slot's
-        warm-start flag under the reserved key ``"_warm"``.
+        warm-start flag under the reserved key ``"_warm"``.  Passing a
+        previously exported state as ``out`` copies into its arrays in
+        place instead of allocating a fresh snapshot — the fleet
+        scheduler's per-episode carried state reuses one set of arrays for
+        an episode's whole lifetime this way.
         """
-        state: Dict[str, np.ndarray] = {
-            name: getattr(self.workspace, name)[index].copy()
-            for name in WORKSPACE_BUFFERS}
-        state["_warm"] = bool(self._warm[index])
-        return state
+        ws = self.workspace
+        if out is None:
+            out = {name: getattr(ws, name)[index].copy()
+                   for name in WORKSPACE_BUFFERS}
+        else:
+            for name in WORKSPACE_BUFFERS:
+                np.copyto(out[name], getattr(ws, name)[index])
+        out["_warm"] = bool(self._warm[index])
+        return out
 
     def import_slot(self, index: int,
                     state: Optional[Dict[str, np.ndarray]] = None) -> None:
@@ -278,13 +293,18 @@ class BatchTinyMPCSolver:
         return self.total_iterations / self.total_instance_solves
 
     # -- internals -------------------------------------------------------------
-    def _converged_mask(self) -> np.ndarray:
+    def _converged_mask_into(self, out: np.ndarray) -> None:
+        """``out[b] = instance b satisfies the termination test`` (no allocs)."""
         ws = self.workspace
         settings = self.settings
-        return ((ws.primal_residual_state < settings.abs_primal_tolerance)
-                & (ws.primal_residual_input < settings.abs_primal_tolerance)
-                & (ws.dual_residual_state < settings.abs_dual_tolerance)
-                & (ws.dual_residual_input < settings.abs_dual_tolerance))
+        term = self._term_scratch
+        np.less(ws.primal_residual_state, settings.abs_primal_tolerance, out=out)
+        np.less(ws.primal_residual_input, settings.abs_primal_tolerance, out=term)
+        np.logical_and(out, term, out=out)
+        np.less(ws.dual_residual_state, settings.abs_dual_tolerance, out=term)
+        np.logical_and(out, term, out=out)
+        np.less(ws.dual_residual_input, settings.abs_dual_tolerance, out=term)
+        np.logical_and(out, term, out=out)
 
     def _save(self, index: np.ndarray) -> None:
         ws = self.workspace

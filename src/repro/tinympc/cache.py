@@ -15,7 +15,7 @@ reference for validation.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import List, Tuple
 
 import numpy as np
@@ -27,7 +27,20 @@ __all__ = ["LQRCache", "compute_cache", "riccati_recursion", "dare"]
 
 @dataclass(frozen=True)
 class LQRCache:
-    """Infinite-horizon LQR matrices for the ADMM-augmented problem."""
+    """Infinite-horizon LQR matrices for the ADMM-augmented problem.
+
+    Alongside the four matrices from Algorithm 1, the cache stores the
+    hot-path operators the allocation-free kernels consume every iteration,
+    derived once at construction instead of per kernel call:
+
+    * ``KinfT`` / ``Quu_invT`` / ``AmBKtT`` — transposed views (zero-copy;
+      keeping the historical memory layout keeps GEMV results bit-for-bit
+      identical, which a contiguous copy would not),
+    * ``neg_KinfT`` / ``neg_Pinf`` — negated operands that fold the leading
+      minus of ``forward_pass_1`` / ``update_linear_cost_4`` into the
+      matrix.  Exact: IEEE rounding is sign-symmetric, so
+      ``x @ (-M) == -(x @ M)`` bit-for-bit.
+    """
 
     Kinf: np.ndarray
     Pinf: np.ndarray
@@ -36,6 +49,19 @@ class LQRCache:
     rho: float
     iterations: int
     residual: float
+    # Derived hot-path operators (set in __post_init__).
+    KinfT: np.ndarray = field(init=False, repr=False)
+    Quu_invT: np.ndarray = field(init=False, repr=False)
+    AmBKtT: np.ndarray = field(init=False, repr=False)
+    neg_KinfT: np.ndarray = field(init=False, repr=False)
+    neg_Pinf: np.ndarray = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "KinfT", self.Kinf.T)
+        object.__setattr__(self, "Quu_invT", self.Quu_inv.T)
+        object.__setattr__(self, "AmBKtT", self.AmBKt.T)
+        object.__setattr__(self, "neg_KinfT", (-self.Kinf).T)
+        object.__setattr__(self, "neg_Pinf", -self.Pinf)
 
     @property
     def state_dim(self) -> int:

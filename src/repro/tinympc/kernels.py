@@ -44,7 +44,9 @@ __all__ = [
     "update_slack",
     "update_dual",
     "update_linear_cost",
+    "update_residuals",
     "compute_residuals",
+    "admm_iteration",
     "build_iteration_program",
     "kernel_flop_breakdown",
 ]
@@ -95,23 +97,88 @@ KERNEL_CLASSES.update({name: "reduction" for name in REDUCTION_KERNELS})
 # These operate on either workspace layout: the scalar ``(N, n)`` arrays of
 # :class:`TinyMPCWorkspace` or the stacked ``(B, N, n)`` arrays of
 # :class:`~repro.tinympc.workspace.BatchTinyMPCWorkspace`.  Horizon-adjacent
-# slices are indexed as ``array[..., i, :]`` and the per-knot-point GEMVs are
-# written as right-multiplications (``x @ A.T``) so one code path serves both
-# shapes — the batched case turns every GEMV into a single ``(B, k) @ (k, k)``
-# GEMM across all instances.
+# slices are prebuilt views and the per-knot-point GEMVs are written as
+# right-multiplications (``x @ A.T``) so one code path serves both shapes —
+# the batched case turns every GEMV into a single ``(B, k) @ (k, k)`` GEMM
+# across all instances.
+#
+# After the workspace's :class:`~repro.tinympc.workspace.SolveScratch` is
+# built (first kernel call), the steady-state iteration allocates **zero**
+# numpy buffers: every matmul/ufunc writes into preallocated scratch or a
+# workspace buffer via ``out=``, and per-step results reach strided batch
+# rows through ``np.copyto``.  The rewrite preserves the pre-refactor
+# floating-point operation order and operand memory layouts exactly, so
+# results are bit-for-bit identical to :mod:`repro.tinympc.naive` (enforced
+# by ``tests/tinympc/test_hotpath_exact.py``).  Three exactness lemmas make
+# the fused forms legal:
+#
+# * ``out=`` only changes where a result is stored, never its value;
+# * IEEE-754 rounding is sign-symmetric, so a matmul against a pre-negated
+#   operand (``cache.neg_KinfT``, ``problem.neg_Q`` ...) equals negating the
+#   matmul result, bit for bit;
+# * ``np.clip(a, lo, hi)`` is definitionally ``minimum(maximum(a, lo), hi)``
+#   (exact selections, no rounding), which avoids clip's internal broadcast
+#   temporary for array bounds.
 
 def forward_pass(ws: TinyMPCWorkspace, cache: LQRCache) -> None:
     """Roll the trajectory forward with the cached LQR feedback.
 
     ``forward_pass_1``: u[i] = -Kinf x[i] - d[i]
     ``forward_pass_2``: x[i+1] = A x[i] + B u[i]
+
+    The per-step GEMVs go through ``np.matmul`` with a positional ``out``
+    against the cached transposed/negated operators (``np.dot`` is faster
+    to dispatch but its low bits depend on operand layout, so it cannot
+    honor the bit-for-bit contract); the scalar layout writes ufunc results
+    straight into the contiguous workspace rows, while the batched layout
+    stages strided rows through contiguous cursors (``np.copyto`` is the
+    only operation that touches a strided row outside a GEMV, because
+    ufuncs buffer strided operands).
     """
-    At, Bt = ws.problem.A.T, ws.problem.B.T
-    KinfT = cache.Kinf.T
-    x, u, d = ws.x, ws.u, ws.d
-    for i in range(ws.horizon - 1):
-        u[..., i, :] = -(x[..., i, :] @ KinfT) - d[..., i, :]
-        x[..., i + 1, :] = x[..., i, :] @ At + u[..., i, :] @ Bt
+    problem = ws.problem
+    s = ws.scratch
+    At, Bt, neg_KinfT = problem.AT, problem.BT, cache.neg_KinfT
+    t_m, t_n, t_n2 = s.vec_m, s.vec_n, s.vec_n2
+    mm, add, subtract, copyto = np.matmul, np.add, np.subtract, np.copyto
+    if s.is_scalar:
+        for x_i, x_next, u_i, d_i in s.fwd_steps:
+            mm(x_i, neg_KinfT, t_m)
+            subtract(t_m, d_i, u_i)
+            mm(x_i, At, t_n)
+            mm(u_i, Bt, t_n2)
+            add(t_n, t_n2, x_next)
+    else:
+        d_cur = s.vec_m2
+        for x_i, x_next, u_i, d_i in s.fwd_steps:
+            mm(x_i, neg_KinfT, t_m)
+            copyto(d_cur, d_i)
+            subtract(t_m, d_cur, t_m)
+            copyto(u_i, t_m)
+            mm(x_i, At, t_n)
+            mm(t_m, Bt, t_n2)
+            add(t_n, t_n2, t_n)
+            copyto(x_next, t_n)
+
+
+def _verify_fused_kr(ws: TinyMPCWorkspace, Kinf: np.ndarray) -> bool:
+    """Is the one-shot ``r @ Kinf`` precompute bit-identical on this BLAS?
+
+    BLAS accumulation order is a function of operand shapes and layouts,
+    never of operand values, so agreement on one deterministic probe with
+    exactly the workspace's shapes/layouts proves agreement for every input.
+    Runs once per (workspace, cache) pair, at warmup.
+    """
+    probe = np.empty_like(ws.r)
+    flat = probe.reshape(-1)
+    flat[...] = np.arange(1.0, flat.size + 1.0)
+    np.multiply(flat, 0.61803398875, out=flat)
+    np.mod(flat, 1.0, out=flat)
+    np.subtract(flat, 0.5, out=flat)
+    stepmajor = probe if ws.scratch.is_scalar else probe.transpose(1, 0, 2)
+    fused = np.matmul(stepmajor, Kinf)
+    stepwise = np.stack([probe[..., i, :] @ Kinf
+                         for i in range(ws.horizon - 1)])
+    return bool(np.array_equal(fused, stepwise))
 
 
 def backward_pass(ws: TinyMPCWorkspace, cache: LQRCache) -> None:
@@ -119,14 +186,48 @@ def backward_pass(ws: TinyMPCWorkspace, cache: LQRCache) -> None:
 
     ``backward_pass_1``: d[i] = Quu_inv (B' p[i+1] + r[i])
     ``backward_pass_2``: p[i] = q[i] + AmBKt p[i+1] - Kinf' r[i]
+
+    ``r`` never changes inside the recursion, so the ``Kinf' r[i]`` terms
+    of every knot point are hoisted into one step-major matmul when
+    :func:`_verify_fused_kr` has proven the fusion bit-identical on this
+    host (the per-step fallback is always exact by construction).
     """
+    s = ws.scratch
     B = ws.problem.B
-    Quu_invT, AmBKtT, Kinf = cache.Quu_inv.T, cache.AmBKt.T, cache.Kinf
-    p, d, q, r = ws.p, ws.d, ws.q, ws.r
-    for i in range(ws.horizon - 2, -1, -1):
-        d[..., i, :] = (p[..., i + 1, :] @ B + r[..., i, :]) @ Quu_invT
-        p[..., i, :] = (q[..., i, :] + p[..., i + 1, :] @ AmBKtT
-                        - r[..., i, :] @ Kinf)
+    Quu_invT, AmBKtT, Kinf = cache.Quu_invT, cache.AmBKtT, cache.Kinf
+    if s.kr_cache is not cache:
+        s.kr_ok = _verify_fused_kr(ws, Kinf)
+        s.kr_cache = cache
+    fused = s.kr_ok
+    t_m, t_n, t_n2 = s.vec_m, s.vec_n, s.vec_n2
+    mm, add, subtract, copyto = np.matmul, np.add, np.subtract, np.copyto
+    if fused:
+        mm(s.r_stepmajor, Kinf, s.kr)
+    if s.is_scalar:
+        for p_next, p_i, d_i, q_i, r_i, kr_i in s.bwd_steps:
+            mm(p_next, B, t_m)
+            add(t_m, r_i, t_m)
+            mm(t_m, Quu_invT, d_i)
+            mm(p_next, AmBKtT, t_n)
+            add(q_i, t_n, t_n)
+            if not fused:
+                kr_i = mm(r_i, Kinf, t_n2)
+            subtract(t_n, kr_i, p_i)
+    else:
+        t_m2, r_cur, q_cur = s.vec_m2, s.vec_m3, s.vec_n3
+        for p_next, p_i, d_i, q_i, r_i, kr_i in s.bwd_steps:
+            mm(p_next, B, t_m)
+            copyto(r_cur, r_i)
+            add(t_m, r_cur, t_m)
+            mm(t_m, Quu_invT, t_m2)
+            copyto(d_i, t_m2)
+            mm(p_next, AmBKtT, t_n)
+            copyto(q_cur, q_i)
+            add(q_cur, t_n, t_n)
+            if not fused:
+                kr_i = mm(r_cur, Kinf, t_n2)
+            subtract(t_n, kr_i, t_n)
+            copyto(p_i, t_n)
 
 
 def update_slack(ws: TinyMPCWorkspace) -> None:
@@ -134,10 +235,19 @@ def update_slack(ws: TinyMPCWorkspace) -> None:
 
     ``update_slack_1``: znew = clip(u + y, u_min, u_max)
     ``update_slack_2``: vnew = clip(x + g, x_min, x_max)
+
+    ``clip`` is definitionally ``minimum(maximum(., lo), hi)`` — exact
+    selections, identical bits — and the two-ufunc form against the
+    scratch's full-shape bounds runs without clip's internal broadcast
+    temporary.
     """
-    problem = ws.problem
-    np.clip(ws.u + ws.y, problem.u_min, problem.u_max, out=ws.znew)
-    np.clip(ws.x + ws.g, problem.x_min, problem.x_max, out=ws.vnew)
+    s = ws.scratch
+    np.add(ws.u, ws.y, ws.znew)
+    np.maximum(ws.znew, s.u_lo, out=ws.znew)
+    np.minimum(ws.znew, s.u_hi, out=ws.znew)
+    np.add(ws.x, ws.g, ws.vnew)
+    np.maximum(ws.vnew, s.x_lo, out=ws.vnew)
+    np.minimum(ws.vnew, s.x_hi, out=ws.vnew)
 
 
 def update_dual(ws: TinyMPCWorkspace) -> None:
@@ -145,8 +255,11 @@ def update_dual(ws: TinyMPCWorkspace) -> None:
 
     ``update_dual_1``: y += u - znew ; g += x - vnew
     """
-    ws.y += ws.u - ws.znew
-    ws.g += ws.x - ws.vnew
+    s = ws.scratch
+    np.subtract(ws.u, ws.znew, s.input_tmp)
+    np.add(ws.y, s.input_tmp, ws.y)
+    np.subtract(ws.x, ws.vnew, s.state_tmp)
+    np.add(ws.g, s.state_tmp, ws.g)
 
 
 def update_linear_cost(ws: TinyMPCWorkspace, cache: LQRCache) -> None:
@@ -156,38 +269,102 @@ def update_linear_cost(ws: TinyMPCWorkspace, cache: LQRCache) -> None:
     ``update_linear_cost_2``: q = -(Xref Q)
     ``update_linear_cost_3``: q -= rho (vnew - g)
     ``update_linear_cost_4``: p[N-1] = -(Xref[N-1] Pinf) - rho (vnew[N-1] - g[N-1])
+
+    The whole-horizon products stay on ``np.matmul`` (3-D ``np.dot`` takes
+    a different BLAS path with different low bits); the leading minus is
+    folded into ``problem.neg_R`` / ``problem.neg_Q`` / ``cache.neg_Pinf``.
     """
     problem = ws.problem
+    s = ws.scratch
     rho = problem.rho
-    ws.r[...] = -(ws.Uref @ problem.R) - rho * (ws.znew - ws.y)
-    ws.q[...] = -(ws.Xref @ problem.Q)
-    ws.q -= rho * (ws.vnew - ws.g)
-    ws.p[..., -1, :] = (-(ws.Xref[..., -1, :] @ cache.Pinf)
-                        - rho * (ws.vnew[..., -1, :] - ws.g[..., -1, :]))
+    np.matmul(ws.Uref, problem.neg_R, out=ws.r)
+    np.subtract(ws.znew, ws.y, s.input_tmp)
+    np.multiply(s.input_tmp, rho, s.input_tmp)
+    np.subtract(ws.r, s.input_tmp, ws.r)
+    np.matmul(ws.Xref, problem.neg_Q, out=ws.q)
+    np.subtract(ws.vnew, ws.g, s.state_tmp)
+    np.multiply(s.state_tmp, rho, s.state_tmp)
+    np.subtract(ws.q, s.state_tmp, ws.q)
+    t_n, t_n2, t_n3 = s.vec_n, s.vec_n2, s.vec_n3
+    np.matmul(s.Xref_last, cache.neg_Pinf, t_n)
+    if s.is_scalar:
+        np.subtract(s.vnew_last, s.g_last, t_n2)
+    else:
+        np.copyto(t_n2, s.vnew_last)
+        np.copyto(t_n3, s.g_last)
+        np.subtract(t_n2, t_n3, t_n2)
+    np.multiply(t_n2, rho, t_n2)
+    np.subtract(t_n, t_n2, t_n)
+    np.copyto(s.p_last, t_n)
 
 
-def _horizon_max_abs(difference: np.ndarray):
-    """Max |.| over the horizon and vector axes; per-instance for batches.
+def _max_abs_diff_into(a: np.ndarray, b: np.ndarray, tmp: np.ndarray,
+                       out: np.ndarray) -> None:
+    """``out[...] = max |a - b|`` over the horizon and vector axes.
 
-    Returns a float for scalar ``(N, n)`` workspaces and a ``(B,)`` array for
-    batched ``(B, N, n)`` workspaces.
+    One scratch-based reduction serves both layouts: ``out`` is the
+    workspace's preallocated reduction target — 0-d for scalar ``(N, n)``
+    workspaces, ``(B,)`` for batched ``(B, N, n)`` ones — so scalar and
+    batch-of-one residuals take the identical code path (and agree exactly).
     """
-    reduced = np.max(np.abs(difference), axis=(-2, -1))
-    return float(reduced) if reduced.ndim == 0 else reduced
+    np.subtract(a, b, tmp)
+    np.abs(tmp, tmp)
+    tmp.max((-2, -1), out)
+
+
+def update_residuals(ws: TinyMPCWorkspace) -> None:
+    """Global-maximum primal and dual residuals (Algorithm 3), in place.
+
+    Writes the four preallocated reduction outputs on the workspace and
+    returns nothing — this is the form both solver hot loops call.  On a
+    batched workspace each residual is computed per instance, so the four
+    reduction kernels become length-``B`` vectors of maxima.
+    """
+    if type(ws.primal_residual_state) is not np.ndarray:
+        # Legacy code (the naive reference kernels) rebinds the residual
+        # fields to Python floats; re-adopt preallocated array storage.
+        ws._reset_residuals()
+    s = ws.scratch
+    rho = ws.problem.rho
+    _max_abs_diff_into(ws.x, ws.vnew, s.state_tmp, ws.primal_residual_state)
+    _max_abs_diff_into(ws.v, ws.vnew, s.state_tmp, ws.dual_residual_state)
+    np.multiply(ws.dual_residual_state, rho, ws.dual_residual_state)
+    _max_abs_diff_into(ws.u, ws.znew, s.input_tmp, ws.primal_residual_input)
+    _max_abs_diff_into(ws.z, ws.znew, s.input_tmp, ws.dual_residual_input)
+    np.multiply(ws.dual_residual_input, rho, ws.dual_residual_input)
 
 
 def compute_residuals(ws: TinyMPCWorkspace) -> Dict[str, float]:
-    """Global-maximum primal and dual residuals (Algorithm 3).
+    """:func:`update_residuals` plus a detached residual dict (public API).
 
-    On a batched workspace each residual is computed per instance, so the
-    four reduction kernels become length-``B`` vectors of maxima.
+    The returned values are snapshots — floats for scalar workspaces,
+    copied ``(B,)`` arrays for batched ones — so later iterations never
+    mutate a caller's saved dict (matching the pre-refactor behavior,
+    where every call rebound the fields to fresh arrays).
     """
-    rho = ws.problem.rho
-    ws.primal_residual_state = _horizon_max_abs(ws.x - ws.vnew)
-    ws.dual_residual_state = rho * _horizon_max_abs(ws.v - ws.vnew)
-    ws.primal_residual_input = _horizon_max_abs(ws.u - ws.znew)
-    ws.dual_residual_input = rho * _horizon_max_abs(ws.z - ws.znew)
-    return ws.residuals()
+    update_residuals(ws)
+    return {name: (value.copy() if isinstance(value, np.ndarray) else value)
+            for name, value in ws.residuals().items()}
+
+
+def admm_iteration(ws: TinyMPCWorkspace, cache: LQRCache,
+                   with_residuals: bool = True) -> None:
+    """One full ADMM iteration, in the exact order the solver loops run it.
+
+    This is the unit the perf-regression harness times and allocation-checks
+    (``benchmarks/test_kernel_hotpath.py``): after the first call builds the
+    workspace scratch, steady-state calls allocate zero numpy buffers.
+    """
+    forward_pass(ws, cache)
+    update_slack(ws)
+    update_dual(ws)
+    update_linear_cost(ws, cache)
+    if with_residuals:
+        update_residuals(ws)
+    # Keep previous slack iterates for the next dual residual.
+    ws.v[...] = ws.vnew
+    ws.z[...] = ws.znew
+    backward_pass(ws, cache)
 
 
 # ---------------------------------------------------------------------------
@@ -204,11 +381,13 @@ class _MatBuffers:
         # Problem/cache constants (scratchpad-resident in the Gemmini mapping).
         self.Adyn = Mat(problem.A, name="Adyn")
         self.Bdyn = Mat(problem.B, name="Bdyn")
-        self.BdynT = Mat(problem.B.T.copy(), name="BdynT")
+        # Mat() copies its input, so the cached transpose views are wrapped
+        # directly instead of materializing a second `.T.copy()` per trace.
+        self.BdynT = Mat(problem.BT, name="BdynT")
         self.Q = Mat(problem.Q, name="Q")
         self.R = Mat(problem.R, name="R")
         self.Kinf = Mat(cache.Kinf, name="Kinf")
-        self.KinfT = Mat(cache.Kinf.T.copy(), name="KinfT")
+        self.KinfT = Mat(cache.KinfT, name="KinfT")
         self.Pinf = Mat(cache.Pinf, name="Pinf")
         self.Quu_inv = Mat(cache.Quu_inv, name="Quu_inv")
         self.AmBKt = Mat(cache.AmBKt, name="AmBKt")

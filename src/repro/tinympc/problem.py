@@ -75,6 +75,18 @@ class MPCProblem:
             raise ValueError("u_min must not exceed u_max")
         if np.any(self.x_min > self.x_max):
             raise ValueError("x_min must not exceed x_max")
+        # Hot-path operators, derived once instead of per kernel call.  The
+        # transposes are zero-copy views: feeding BLAS the same memory layout
+        # the kernels historically built inline (``A.T`` on the fly) keeps
+        # results bit-for-bit identical — `ascontiguousarray(A.T)` changes
+        # the GEMV path and with it the low bits.  The negated costs fold the
+        # leading minus of the linear-cost kernels into the operand (exact:
+        # IEEE rounding is sign-symmetric, so ``x @ (-Q) == -(x @ Q)``
+        # bit-for-bit).
+        self.AT = self.A.T
+        self.BT = self.B.T
+        self.neg_Q = -self.Q
+        self.neg_R = -self.R
 
     @staticmethod
     def _expand_bound(bound, size: int, default: float) -> np.ndarray:
@@ -132,7 +144,14 @@ def problem_hash(problem: MPCProblem) -> str:
     costs, penalty, horizon, bounds, timestep) but not the display ``name``.
     Used by :mod:`repro.experiments.runner` to key cached experiment results,
     so results are invalidated whenever the underlying problem changes.
+
+    The digest is memoized on the instance: the fleet scheduler and the
+    solver workspace pool key every dispatch/acquire on it, and problems are
+    treated as immutable after construction everywhere in this codebase.
     """
+    memo = getattr(problem, "_hash_memo", None)
+    if memo is not None:
+        return memo
     digest = hashlib.sha256()
     for array in (problem.A, problem.B, problem.Q, problem.R,
                   problem.u_min, problem.u_max, problem.x_min, problem.x_max):
@@ -140,7 +159,8 @@ def problem_hash(problem: MPCProblem) -> str:
     digest.update(np.float64(problem.rho).tobytes())
     digest.update(np.float64(problem.dt).tobytes())
     digest.update(np.int64(problem.horizon).tobytes())
-    return digest.hexdigest()
+    problem._hash_memo = digest.hexdigest()
+    return problem._hash_memo
 
 
 def default_quadrotor_problem(horizon: int = 10, rho: float = 5.0,

@@ -14,15 +14,8 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
+from . import kernels
 from .cache import LQRCache, compute_cache
-from .kernels import (
-    backward_pass,
-    compute_residuals,
-    forward_pass,
-    update_dual,
-    update_linear_cost,
-    update_slack,
-)
 from .problem import MPCProblem
 from .workspace import COLD_START_BUFFERS, TinyMPCWorkspace
 
@@ -119,21 +112,24 @@ class TinyMPCSolver:
 
         iterations = 0
         converged = False
+        # Kernels are dispatched through the module so the benchmark
+        # harness can swap in the pre-refactor reference implementations
+        # (repro.tinympc.naive.use_naive_kernels).
         for iteration in range(1, settings.max_iterations + 1):
             iterations = iteration
-            forward_pass(ws, self.cache)
-            update_slack(ws)
-            update_dual(ws)
-            update_linear_cost(ws, self.cache)
+            kernels.forward_pass(ws, self.cache)
+            kernels.update_slack(ws)
+            kernels.update_dual(ws)
+            kernels.update_linear_cost(ws, self.cache)
             if iteration % settings.check_termination_every == 0:
-                compute_residuals(ws)
+                kernels.update_residuals(ws)
                 converged = self._is_converged()
             # Keep previous slack iterates for the next dual residual.
             ws.v[...] = ws.vnew
             ws.z[...] = ws.znew
             if converged:
                 break
-            backward_pass(ws, self.cache)
+            kernels.backward_pass(ws, self.cache)
 
         self._has_previous_solution = True
         self.total_iterations += iterations

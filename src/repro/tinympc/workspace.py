@@ -24,14 +24,14 @@ scalar solver.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Tuple
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
 from .problem import MPCProblem
 
-__all__ = ["TinyMPCWorkspace", "BatchTinyMPCWorkspace", "WORKSPACE_BUFFERS",
-           "COLD_START_BUFFERS", "RESIDUAL_FIELDS"]
+__all__ = ["TinyMPCWorkspace", "BatchTinyMPCWorkspace", "SolveScratch",
+           "WORKSPACE_BUFFERS", "COLD_START_BUFFERS", "RESIDUAL_FIELDS"]
 
 
 # Every mutable horizon-indexed buffer, in scratchpad-layout order.  Shared
@@ -56,6 +56,93 @@ RESIDUAL_FIELDS: Tuple[str, ...] = (
     "primal_residual_input", "dual_residual_input",
 )
 
+
+class SolveScratch:
+    """Preallocated views and temporaries for the allocation-free kernels.
+
+    Built lazily (once per workspace) by :attr:`TinyMPCWorkspace.scratch`.
+    After this warmup, every fast kernel in :mod:`repro.tinympc.kernels`
+    runs without allocating a single numpy buffer: per-knot-point slices are
+    prebuilt views, every matmul/ufunc writes into a scratch array or a
+    workspace buffer via ``out=``, and per-step results reach strided rows
+    through ``np.copyto`` (a plain ufunc store into a strided batch view
+    makes numpy spin up a buffered iterator — measurable as a traced
+    allocation — while ``copyto`` does not).
+
+    Invariant: the workspace arrays named in :data:`WORKSPACE_BUFFERS` must
+    never be **rebound** after construction (in-place writes only — which is
+    how the whole codebase already treats them), or the prebuilt views here
+    would go stale.
+    """
+
+    def __init__(self, ws: "TinyMPCWorkspace") -> None:
+        lead = ws.lead_shape
+        N, n, m = ws.horizon, ws.state_dim, ws.input_dim
+        problem = ws.problem
+        # Scalar (N, k) workspaces have contiguous knot-point rows, so the
+        # kernels can point ufuncs straight at them; batched (B, N, k) rows
+        # are strided, so per-step traffic goes through contiguous cursors.
+        self.is_scalar = lead == ()
+        # Per-knot-point row views of the iterative-kernel buffers.
+        self.x_steps = tuple(ws.x[..., i, :] for i in range(N))
+        self.u_steps = tuple(ws.u[..., i, :] for i in range(N - 1))
+        self.p_steps = tuple(ws.p[..., i, :] for i in range(N))
+        self.d_steps = tuple(ws.d[..., i, :] for i in range(N - 1))
+        self.q_steps = tuple(ws.q[..., i, :] for i in range(N))
+        self.r_steps = tuple(ws.r[..., i, :] for i in range(N - 1))
+        # Step tuples in iteration order: one unpack per knot point instead
+        # of four index lookups.
+        self.fwd_steps = tuple(
+            (self.x_steps[i], self.x_steps[i + 1], self.u_steps[i],
+             self.d_steps[i])
+            for i in range(N - 1))
+        # Terminal-knot views for update_linear_cost_4.
+        self.p_last = self.p_steps[N - 1]
+        self.Xref_last = ws.Xref[..., N - 1, :]
+        self.vnew_last = ws.vnew[..., N - 1, :]
+        self.g_last = ws.g[..., N - 1, :]
+        # Fused ``r @ Kinf`` precompute for the backward pass.  ``kr`` is
+        # step-major (knot-point index first) so each step's slab is
+        # contiguous for both layouts; ``r_stepmajor`` views ``ws.r`` the
+        # same way, making the fused matmul's per-step operand layout
+        # identical to the per-step GEMV's.  Whether the fused form is
+        # bit-identical to per-step calls is BLAS-specific, so
+        # ``backward_pass`` verifies it against this host's BLAS once per
+        # (workspace, cache) and falls back to per-step calls otherwise
+        # (`kr_ok`/`kr_cache` memoize the verdict).
+        self.kr = np.empty((N - 1,) + lead + (n,))
+        self.kr_steps = tuple(self.kr[i] for i in range(N - 1))
+        self.r_stepmajor = ws.r if self.is_scalar else ws.r.transpose(1, 0, 2)
+        self.kr_cache = None
+        self.kr_ok = False
+        # Backward-pass step tuples (reverse iteration order).
+        self.bwd_steps = tuple(
+            (self.p_steps[i + 1], self.p_steps[i], self.d_steps[i],
+             self.q_steps[i], self.r_steps[i], self.kr_steps[i])
+            for i in range(N - 2, -1, -1))
+        # Contiguous vector scratch (one knot point wide).
+        self.vec_n = np.empty(lead + (n,))
+        self.vec_n2 = np.empty(lead + (n,))
+        self.vec_n3 = np.empty(lead + (n,))
+        self.vec_m = np.empty(lead + (m,))
+        self.vec_m2 = np.empty(lead + (m,))
+        self.vec_m3 = np.empty(lead + (m,))
+        # Contiguous whole-horizon scratch for the elementwise/reduction
+        # kernels (shaped like the state and input trajectories).
+        self.state_tmp = np.empty(lead + (N, n))
+        self.input_tmp = np.empty(lead + (N - 1, m))
+        # Box bounds materialized at full operand shape: numpy's ufunc
+        # machinery spins up a ~buffer-sized traced temporary when a bound
+        # has to broadcast against a batched operand, and a same-shape bound
+        # is selection-exact (identical bits) while iterating allocation-free.
+        self.u_lo = np.empty(lead + (N - 1, m))
+        self.u_hi = np.empty(lead + (N - 1, m))
+        self.x_lo = np.empty(lead + (N, n))
+        self.x_hi = np.empty(lead + (N, n))
+        self.u_lo[...] = problem.u_min
+        self.u_hi[...] = problem.u_max
+        self.x_lo[...] = problem.x_min
+        self.x_hi[...] = problem.x_max
 
 
 @dataclass
@@ -87,11 +174,16 @@ class TinyMPCWorkspace:
     # references
     Xref: np.ndarray = field(init=False)
     Uref: np.ndarray = field(init=False)
-    # residuals (floats here; per-instance (B,) arrays in the batched subclass)
-    primal_residual_state: float = field(init=False, default=np.inf)
-    dual_residual_state: float = field(init=False, default=np.inf)
-    primal_residual_input: float = field(init=False, default=np.inf)
-    dual_residual_input: float = field(init=False, default=np.inf)
+    # residuals: preallocated reduction outputs the kernels write with
+    # ``out=`` — 0-d arrays here, per-instance ``(B,)`` arrays in the batched
+    # subclass (one symmetric storage path for both layouts)
+    primal_residual_state: np.ndarray = field(init=False, default=None)
+    dual_residual_state: np.ndarray = field(init=False, default=None)
+    primal_residual_input: np.ndarray = field(init=False, default=None)
+    dual_residual_input: np.ndarray = field(init=False, default=None)
+    # lazily-built kernel scratch arena (not part of the solver state)
+    _scratch: Optional[SolveScratch] = field(init=False, default=None,
+                                             repr=False)
 
     def __post_init__(self) -> None:
         n = self.problem.state_dim
@@ -132,10 +224,30 @@ class TinyMPCWorkspace:
     def horizon(self) -> int:
         return self.problem.horizon
 
+    # -- kernel scratch ---------------------------------------------------------
+    @property
+    def scratch(self) -> SolveScratch:
+        """The workspace's :class:`SolveScratch`, built on first use."""
+        arena = self._scratch
+        if arena is None:
+            arena = SolveScratch(self)
+            self._scratch = arena
+        return arena
+
     # -- lifecycle ------------------------------------------------------------
     def _reset_residuals(self) -> None:
+        """(Re)initialize the residual reduction outputs to ``inf``.
+
+        The fields are filled in place once they exist so the kernels'
+        ``out=`` targets stay the same arrays across resets; they are
+        (re)created when absent or when legacy code rebound one to a float.
+        """
         for name in RESIDUAL_FIELDS:
-            setattr(self, name, np.inf)
+            value = getattr(self, name, None)
+            if isinstance(value, np.ndarray) and value.shape == self.lead_shape:
+                value.fill(np.inf)
+            else:
+                setattr(self, name, np.full(self.lead_shape, np.inf))
 
     def reset(self) -> None:
         """Zero all trajectories, slacks, duals, and references."""
@@ -172,11 +284,12 @@ class TinyMPCWorkspace:
     # -- residual bookkeeping ---------------------------------------------------
     @property
     def max_residual(self) -> float:
-        return max(self.primal_residual_state, self.dual_residual_state,
-                   self.primal_residual_input, self.dual_residual_input)
+        return float(max(self.primal_residual_state, self.dual_residual_state,
+                         self.primal_residual_input, self.dual_residual_input))
 
     def residuals(self) -> Dict[str, float]:
-        return {name: getattr(self, name) for name in RESIDUAL_FIELDS}
+        """Current residuals as plain floats (detached from the scratch)."""
+        return {name: float(getattr(self, name)) for name in RESIDUAL_FIELDS}
 
     # -- snapshots (for tests/benchmarks) -----------------------------------------
     def snapshot(self) -> Dict[str, np.ndarray]:
@@ -208,9 +321,9 @@ class BatchTinyMPCWorkspace(TinyMPCWorkspace):
     def lead_shape(self) -> Tuple[int, ...]:
         return (self.batch,)
 
-    def _reset_residuals(self) -> None:
-        for name in RESIDUAL_FIELDS:
-            setattr(self, name, np.full(self.batch, np.inf))
+    def residuals(self) -> Dict[str, np.ndarray]:
+        """Current per-instance residuals (live ``(B,)`` views, not copies)."""
+        return {name: getattr(self, name) for name in RESIDUAL_FIELDS}
 
     def set_initial_state(self, x0: np.ndarray) -> None:
         """Set the batch of initial states from a ``(B, n)`` array.
