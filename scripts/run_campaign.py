@@ -64,6 +64,19 @@ def build_parser() -> argparse.ArgumentParser:
                         help="comma-separated control rates in Hz")
     parser.add_argument("--max-iterations", type=_int_csv, default=[10],
                         help="comma-separated ADMM iteration caps")
+    parser.add_argument("--episode-kind", choices=["waypoint", "recovery"],
+                        default="waypoint",
+                        help="waypoint scenarios or disturbance recovery")
+    parser.add_argument("--disturbance-categories", type=_csv,
+                        default=["force", "torque", "combined"],
+                        help="recovery only; comma-separated: force,torque,combined")
+    parser.add_argument("--disturbance-kinds", type=_csv,
+                        default=["step", "impulse"],
+                        help="recovery only; comma-separated: step,impulse")
+    parser.add_argument("--disturbance-scales", type=_float_csv, default=[1.0],
+                        help="recovery only; magnitude-ladder multipliers")
+    parser.add_argument("--disturbance-starts", type=_float_csv, default=[0.5],
+                        help="recovery only; disturbance start times in seconds")
     parser.add_argument("--workers", type=int, default=1,
                         help="worker processes (1 = in-process)")
     parser.add_argument("--max-batch", type=int, default=None,
@@ -88,6 +101,11 @@ def main(argv=None) -> int:
         variants=tuple(args.variants),
         control_rates_hz=tuple(args.control_rates),
         max_admm_iterations=tuple(args.max_iterations),
+        episode_kind=args.episode_kind,
+        disturbance_categories=tuple(args.disturbance_categories),
+        disturbance_kinds=tuple(args.disturbance_kinds),
+        disturbance_scales=tuple(args.disturbance_scales),
+        disturbance_start_times=tuple(args.disturbance_starts),
     )
     if not args.quiet:
         print(spec.describe())
@@ -101,11 +119,14 @@ def main(argv=None) -> int:
     if not args.quiet:
         print(format_rows(rows))
         summary = outcome.overall()
+        rate = ("recovery rate {:.1%}".format(summary["recovery_rate"])
+                if summary.get("recovery_episodes")
+                else "success rate {:.1%}".format(summary["success_rate"]))
         print("\n{} episodes in {:.2f}s ({:.1f} episodes/s) | "
-              "success rate {:.1%} | {} dispatches, mean batch width {:.1f}"
+              "{} | {} dispatches, mean batch width {:.1f}"
               .format(summary["episodes"], elapsed,
                       summary["episodes"] / elapsed if elapsed else 0.0,
-                      summary["success_rate"], summary["dispatches"],
+                      rate, summary["dispatches"],
                       summary["mean_batch_width"]))
     if args.output:
         payload = {

@@ -23,11 +23,13 @@ from .scenarios import (
     scenario_overview_table,
 )
 from .disturbance import (
+    CATEGORY_DIRECTIONS,
     Disturbance,
     DisturbanceCategory,
     DisturbanceType,
     RecoveryResult,
     analyze_recovery,
+    disturbance_grid,
     standard_disturbance_suite,
 )
 
@@ -61,10 +63,12 @@ __all__ = [
     "generate_scenario",
     "generate_scenario_set",
     "scenario_overview_table",
+    "CATEGORY_DIRECTIONS",
     "Disturbance",
     "DisturbanceCategory",
     "DisturbanceType",
     "RecoveryResult",
     "analyze_recovery",
+    "disturbance_grid",
     "standard_disturbance_suite",
 ]

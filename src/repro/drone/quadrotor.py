@@ -150,6 +150,26 @@ class Quadrotor:
         self._external_torque = (np.zeros(3) if torque is None
                                  else np.asarray(torque, dtype=np.float64))
 
+    def bind_disturbance_buffers(self, force: np.ndarray,
+                                 torque: np.ndarray) -> None:
+        """Adopt caller-owned ``(3,)`` float64 wrench buffers *by reference*.
+
+        Unlike :meth:`set_disturbance` (whose wrench is constant until
+        cleared and which may or may not alias its inputs), this method
+        guarantees the plant reads the given arrays on every step — the
+        caller mutates them in place per tick for allocation-free
+        time-varying disturbances.  ``clear_disturbance`` (and ``reset``)
+        drops the binding.
+        """
+        force = np.asarray(force)
+        torque = np.asarray(torque)
+        if force.dtype != np.float64 or force.shape != (3,):
+            raise ValueError("force buffer must be a (3,) float64 array")
+        if torque.dtype != np.float64 or torque.shape != (3,):
+            raise ValueError("torque buffer must be a (3,) float64 array")
+        self._external_force = force
+        self._external_torque = torque
+
     def clear_disturbance(self) -> None:
         self._external_force = np.zeros(3)
         self._external_torque = np.zeros(3)

@@ -50,12 +50,14 @@ __all__ = ["ExperimentRunner", "BATCH_ROUTED_EXPERIMENTS", "run_cached",
 
 # Experiments that accept a ``batched`` keyword; the runner turns batching on
 # by default for these (callers can still pass batched=False explicitly).
-BATCH_ROUTED_EXPERIMENTS = ("fig16", "fig18", "fleet_campaign")
+BATCH_ROUTED_EXPERIMENTS = ("fig16", "fig17", "fig18", "fleet_campaign")
 
 # Bump to invalidate every existing cache entry when driver semantics change.
 # v3: sha256-seeded scenario generation + scalar-form Quadrotor.derivatives
 # changed HIL episode trajectories without touching the MPC problem hashes.
-_CACHE_VERSION = 3
+# v4: the recovery criterion now requires the full 250 ms hold window and
+# measures max deviation from disturbance start, shifting Fig. 17 numbers.
+_CACHE_VERSION = 4
 
 
 def _jsonable(value) -> bool:

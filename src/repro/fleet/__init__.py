@@ -26,8 +26,19 @@ Quick example::
         print(row)
 """
 
-from .aggregate import CellAggregate, FleetAggregator, ReservoirSamples
-from .campaign import CELL_AXES, CampaignSpec, EpisodeFactory, EpisodeSpec
+from .aggregate import (
+    CellAggregate,
+    FleetAggregator,
+    RecoveryCellAggregate,
+    ReservoirSamples,
+)
+from .campaign import (
+    CELL_AXES,
+    RECOVERY_CELL_AXES,
+    CampaignSpec,
+    EpisodeFactory,
+    EpisodeSpec,
+)
 from .scheduler import (
     FleetEpisode,
     FleetScheduler,
@@ -41,8 +52,10 @@ from .workers import CampaignResult, run_campaign, shard_indices
 __all__ = [
     "CellAggregate",
     "FleetAggregator",
+    "RecoveryCellAggregate",
     "ReservoirSamples",
     "CELL_AXES",
+    "RECOVERY_CELL_AXES",
     "CampaignSpec",
     "EpisodeFactory",
     "EpisodeSpec",

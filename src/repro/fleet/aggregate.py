@@ -6,7 +6,11 @@ memory defeats the point of sharding.  :class:`FleetAggregator` consumes
 results one at a time, keeps only O(cells x cap) scalars, and still reports
 success rates, tracking-error percentiles, power statistics, and solve-time
 latency percentiles per aggregate *cell* (one configuration of every axis
-except the scenario seed).
+except the scenario seed).  Disturbance-recovery episodes
+(:class:`~repro.drone.disturbance.RecoveryResult`) stream into their own
+per-category cells (:class:`RecoveryCellAggregate`): recovery rate,
+time-to-recovery percentiles, peak-deviation percentiles, and the maximum
+recovered magnitude observed on the campaign's magnitude ladder.
 
 Per-metric sample sets are bounded by deterministic stride decimation
 (:class:`ReservoirSamples`): once a cell's sample list exceeds its cap, every
@@ -24,10 +28,12 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from ..drone.disturbance import RecoveryResult
 from ..hil.metrics import ScenarioResult
-from .campaign import CELL_AXES
+from .campaign import CELL_AXES, RECOVERY_CELL_AXES
 
-__all__ = ["ReservoirSamples", "CellAggregate", "FleetAggregator"]
+__all__ = ["ReservoirSamples", "CellAggregate", "RecoveryCellAggregate",
+           "FleetAggregator"]
 
 
 class ReservoirSamples:
@@ -168,20 +174,124 @@ class CellAggregate:
         return row
 
 
+@dataclass
+class RecoveryCellAggregate:
+    """Running recovery statistics for one disturbance cell.
+
+    A cell is one configuration of :data:`RECOVERY_CELL_AXES` — the
+    waypoint axes plus disturbance category and kind; directions, magnitude
+    ladder rungs, start times, and seeds repeat within a cell.  Tracks the
+    recovery rate, bounded reservoirs for time-to-recovery and peak
+    deviation, and the magnitude ladder extremes: the largest magnitude the
+    controller recovered from and the smallest it failed on.
+    """
+
+    key: Tuple
+    sample_cap: int = 4096
+    episodes: int = 0
+    recoveries: int = 0
+    max_recovered_magnitude: float = 0.0
+    min_unrecovered_magnitude: float = float("inf")
+    times_to_recovery: ReservoirSamples = field(default=None)
+    max_deviations: ReservoirSamples = field(default=None)
+
+    def __post_init__(self) -> None:
+        if self.times_to_recovery is None:
+            self.times_to_recovery = ReservoirSamples(self.sample_cap)
+        if self.max_deviations is None:
+            self.max_deviations = ReservoirSamples(self.sample_cap)
+
+    def add(self, result: RecoveryResult) -> None:
+        self.episodes += 1
+        magnitude = (result.disturbance.magnitude
+                     if result.disturbance is not None else float("nan"))
+        if result.recovered:
+            self.recoveries += 1
+            if result.time_to_recovery is not None:
+                self.times_to_recovery.add(result.time_to_recovery)
+            if magnitude == magnitude:     # not NaN
+                self.max_recovered_magnitude = max(
+                    self.max_recovered_magnitude, magnitude)
+        elif magnitude == magnitude:
+            self.min_unrecovered_magnitude = min(
+                self.min_unrecovered_magnitude, magnitude)
+        if np.isfinite(result.max_deviation):
+            self.max_deviations.add(result.max_deviation)
+
+    def merge(self, other: "RecoveryCellAggregate") -> "RecoveryCellAggregate":
+        if other.key != self.key:
+            raise ValueError("cannot merge cells with different keys")
+        self.episodes += other.episodes
+        self.recoveries += other.recoveries
+        self.max_recovered_magnitude = max(self.max_recovered_magnitude,
+                                           other.max_recovered_magnitude)
+        self.min_unrecovered_magnitude = min(self.min_unrecovered_magnitude,
+                                             other.min_unrecovered_magnitude)
+        self.times_to_recovery.merge(other.times_to_recovery)
+        self.max_deviations.merge(other.max_deviations)
+        return self
+
+    @property
+    def recovery_rate(self) -> float:
+        return self.recoveries / self.episodes if self.episodes else 0.0
+
+    def as_row(self) -> Dict[str, object]:
+        # RECOVERY_CELL_AXES is the documented column order of
+        # EpisodeSpec.cell_key() for recovery episodes.  Non-finite values
+        # (no recovery observed in the cell, every ladder rung recovered)
+        # become None so campaign JSON artifacts stay RFC 8259 parseable.
+        def finite(value: float) -> Optional[float]:
+            return float(value) if np.isfinite(value) else None
+
+        row: Dict[str, object] = dict(zip(RECOVERY_CELL_AXES, self.key))
+        row.update({
+            "episodes": self.episodes,
+            "recovery_rate": self.recovery_rate,
+            "ttr_p50_s": finite(self.times_to_recovery.percentile(50.0)),
+            "ttr_p90_s": finite(self.times_to_recovery.percentile(90.0)),
+            "max_deviation_p50_m": finite(self.max_deviations.percentile(50.0)),
+            "max_deviation_p90_m": finite(self.max_deviations.percentile(90.0)),
+            "max_recovered_magnitude": (self.max_recovered_magnitude
+                                        if self.recoveries else None),
+            "min_unrecovered_magnitude": finite(self.min_unrecovered_magnitude),
+        })
+        return row
+
+
 class FleetAggregator:
-    """Streaming aggregation of campaign results into per-cell statistics."""
+    """Streaming aggregation of campaign results into per-cell statistics.
+
+    Waypoint episodes (:class:`ScenarioResult`) and disturbance-recovery
+    episodes (:class:`RecoveryResult`) stream into separate cell maps;
+    :meth:`rows` reports the waypoint cells, :meth:`recovery_rows` the
+    recovery cells, and :meth:`overall` summarizes both.
+    """
 
     def __init__(self, sample_cap: int = 4096) -> None:
         self.sample_cap = sample_cap
         self.cells: Dict[Tuple, CellAggregate] = {}
+        self.recovery_cells: Dict[Tuple, RecoveryCellAggregate] = {}
 
-    def add(self, result: ScenarioResult, key: Optional[Tuple] = None) -> None:
-        """Consume one episode result.
+    def add(self, result, key: Optional[Tuple] = None) -> None:
+        """Consume one episode result (waypoint or recovery).
 
         ``key`` is the aggregate cell (``EpisodeSpec.cell_key()``); when the
         result does not come from a campaign, a key is derived from the
         result's own fields (variant/control-rate/iteration axes unknown).
         """
+        if isinstance(result, RecoveryResult):
+            if key is None:
+                disturbance = result.disturbance
+                key = ("-", "-", 0.0, "-", 0.0, 0,
+                       disturbance.category.value if disturbance else "-",
+                       disturbance.kind.value if disturbance else "-")
+            cell = self.recovery_cells.get(key)
+            if cell is None:
+                cell = RecoveryCellAggregate(key=key,
+                                             sample_cap=self.sample_cap)
+                self.recovery_cells[key] = cell
+            cell.add(result)
+            return
         if key is None:
             key = (result.scenario.difficulty.value, result.implementation,
                    result.frequency_mhz, "-", 0.0, 0)
@@ -197,25 +307,49 @@ class FleetAggregator:
                 self.cells[key].merge(cell)
             else:
                 self.cells[key] = cell
+        for key, cell in other.recovery_cells.items():
+            if key in self.recovery_cells:
+                self.recovery_cells[key].merge(cell)
+            else:
+                self.recovery_cells[key] = cell
         return self
 
     @property
     def episodes(self) -> int:
-        return sum(cell.episodes for cell in self.cells.values())
+        return (sum(cell.episodes for cell in self.cells.values())
+                + self.recovery_episodes)
+
+    @property
+    def recovery_episodes(self) -> int:
+        return sum(cell.episodes for cell in self.recovery_cells.values())
 
     def rows(self) -> List[Dict[str, object]]:
-        """One row per cell, sorted by cell key for stable output."""
+        """One row per waypoint cell, sorted by cell key for stable output."""
         return [self.cells[key].as_row()
                 for key in sorted(self.cells, key=lambda k: tuple(map(str, k)))]
 
+    def recovery_rows(self) -> List[Dict[str, object]]:
+        """One row per recovery cell, sorted by cell key for stable output."""
+        return [self.recovery_cells[key].as_row()
+                for key in sorted(self.recovery_cells,
+                                  key=lambda k: tuple(map(str, k)))]
+
     def overall(self) -> Dict[str, object]:
         """Campaign-level summary across every cell."""
-        episodes = self.episodes
+        waypoint_episodes = sum(cell.episodes for cell in self.cells.values())
         successes = sum(cell.successes for cell in self.cells.values())
         crashes = sum(cell.crashes for cell in self.cells.values())
+        recovery_episodes = self.recovery_episodes
+        recoveries = sum(cell.recoveries
+                         for cell in self.recovery_cells.values())
         return {
-            "cells": len(self.cells),
-            "episodes": episodes,
-            "success_rate": successes / episodes if episodes else 0.0,
-            "crash_rate": crashes / episodes if episodes else 0.0,
+            "cells": len(self.cells) + len(self.recovery_cells),
+            "episodes": waypoint_episodes + recovery_episodes,
+            "success_rate": (successes / waypoint_episodes
+                             if waypoint_episodes else 0.0),
+            "crash_rate": (crashes / waypoint_episodes
+                           if waypoint_episodes else 0.0),
+            "recovery_episodes": recovery_episodes,
+            "recovery_rate": (recoveries / recovery_episodes
+                              if recovery_episodes else 0.0),
         }

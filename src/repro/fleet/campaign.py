@@ -13,9 +13,20 @@ distinct configuration exactly once.
 
 Expansion order is the documented public contract: axes nest in the order
 ``difficulty > seed > implementation > frequency > variant > control rate >
-max iterations``, so episode index ``i`` always means the same episode —
-that is what makes sharded runs (:mod:`repro.fleet.workers`) and cached
-campaign rows reproducible.
+max iterations`` (with the disturbance axis ``category > kind > direction >
+magnitude scale > start time`` nested innermost for recovery campaigns), so
+episode index ``i`` always means the same episode — that is what makes
+sharded runs (:mod:`repro.fleet.workers`) and cached campaign rows
+reproducible.
+
+Campaigns come in two *episode kinds*: ``"waypoint"`` (the default — fly
+generated waypoint scenarios) and ``"recovery"`` (the Section 5.2 / Fig. 17
+robustness study — hold position, inject a disturbance, measure
+time-to-recovery).  Recovery campaigns expand the disturbance axis instead
+of varying scenario difficulty, and their episodes produce
+:class:`~repro.drone.disturbance.RecoveryResult` rows streamed into
+per-category recovery statistics by the
+:class:`~repro.fleet.aggregate.FleetAggregator`.
 """
 
 from __future__ import annotations
@@ -24,15 +35,24 @@ import itertools
 from dataclasses import dataclass, fields
 from typing import Dict, List, Optional, Tuple, Union
 
-from ..drone import Difficulty, all_variants, generate_scenario
-from ..hil.episode import EpisodeRunner
+from ..drone import (
+    Difficulty,
+    Disturbance,
+    DisturbanceCategory,
+    DisturbanceType,
+    all_variants,
+    disturbance_grid,
+    generate_scenario,
+)
+from ..hil.episode import EpisodeRunner, RecoveryEpisode
 from ..hil.loop import HILConfig, build_variant_problem
 from ..hil.soc import SOFTWARE_IMPLEMENTATIONS, SoCModel
 from ..tinympc import SolverSettings
 from ..tinympc.cache import compute_cache
 from .scheduler import FleetEpisode
 
-__all__ = ["EpisodeSpec", "CampaignSpec", "EpisodeFactory", "CELL_AXES"]
+__all__ = ["EpisodeSpec", "CampaignSpec", "EpisodeFactory", "CELL_AXES",
+           "RECOVERY_CELL_AXES", "EPISODE_KINDS"]
 
 
 # The configuration axes (everything but the seed) that define an aggregate
@@ -41,10 +61,26 @@ CELL_AXES: Tuple[str, ...] = ("difficulty", "implementation", "frequency_mhz",
                               "variant", "control_rate_hz",
                               "max_admm_iterations")
 
+# Recovery cells additionally split per disturbance category and kind (the
+# Fig. 17 grouping); direction, magnitude ladder rung, start time, and seed
+# are the repetition axes aggregated within a cell.
+RECOVERY_CELL_AXES: Tuple[str, ...] = CELL_AXES + (
+    "disturbance_category", "disturbance_kind")
+
+EPISODE_KINDS = ("waypoint", "recovery")
+
 
 @dataclass(frozen=True)
 class EpisodeSpec:
-    """One fully-determined episode of a campaign."""
+    """One fully-determined episode of a campaign.
+
+    ``disturbance`` selects the episode kind: ``None`` is a waypoint
+    scenario generated from ``(difficulty, seed)``; a
+    :class:`~repro.drone.disturbance.Disturbance` makes this a
+    disturbance-recovery episode holding ``hold_position`` for
+    ``recovery_duration`` seconds (``difficulty`` and ``seed`` then only
+    label the cell — recovery physics is deterministic).
+    """
 
     difficulty: Difficulty
     seed: int
@@ -55,6 +91,13 @@ class EpisodeSpec:
     max_admm_iterations: int = 10
     physics_dt: float = 0.002
     waypoint_tolerance: float = 0.20
+    disturbance: Optional[Disturbance] = None
+    hold_position: Tuple[float, float, float] = (0.0, 0.0, 0.75)
+    recovery_duration: float = 3.0
+
+    @property
+    def is_recovery(self) -> bool:
+        return self.disturbance is not None
 
     def hil_config(self) -> HILConfig:
         return HILConfig(
@@ -67,14 +110,26 @@ class EpisodeSpec:
         )
 
     def cell_key(self) -> Tuple:
-        """The aggregate cell this episode belongs to (all axes but seed)."""
-        return (self.difficulty.value, self.implementation, self.frequency_mhz,
+        """The aggregate cell this episode belongs to.
+
+        Waypoint cells follow :data:`CELL_AXES`; recovery cells
+        :data:`RECOVERY_CELL_AXES` (category and kind split cells, while
+        direction, magnitude rung, start time, and seed repeat within one).
+        """
+        base = (self.difficulty.value, self.implementation, self.frequency_mhz,
                 self.variant, self.control_rate_hz, self.max_admm_iterations)
+        if self.disturbance is None:
+            return base
+        return base + (self.disturbance.category.value,
+                       self.disturbance.kind.value)
 
     def label(self) -> str:
-        return "{}/s{}/{}@{:g}MHz/{}/{:g}Hz".format(
+        label = "{}/s{}/{}@{:g}MHz/{}/{:g}Hz".format(
             self.difficulty.value, self.seed, self.implementation,
             self.frequency_mhz, self.variant, self.control_rate_hz)
+        if self.disturbance is not None:
+            label += "/" + self.disturbance.describe()
+        return label
 
 
 def _as_difficulty(value: Union[Difficulty, str]) -> Difficulty:
@@ -95,6 +150,17 @@ class CampaignSpec:
     entries may be :class:`Difficulty` members or their string values.  The
     expansion (:meth:`expand`) is deterministic and documented — see the
     module docstring.
+
+    ``episode_kind="recovery"`` switches the campaign to the Fig. 17
+    disturbance-recovery workload: the ``disturbance_*`` axes expand to a
+    suite of :class:`~repro.drone.disturbance.Disturbance` events (category
+    x kind x standard directions x magnitude ladder x start time) attached
+    to every configuration grid point.  Magnitudes are the per-category
+    base (``disturbance_force_n`` / ``disturbance_torque_nm``) times each
+    ladder rung in ``disturbance_scales``.  The ``difficulties`` axis must
+    hold exactly one value for recovery campaigns (recovery episodes fly no
+    waypoint scenario; the value only labels the aggregate cell), and seeds
+    are pure repetitions of deterministic physics.
     """
 
     name: str = "campaign"
@@ -107,6 +173,15 @@ class CampaignSpec:
     max_admm_iterations: Tuple[int, ...] = (10,)
     physics_dt: float = 0.002
     waypoint_tolerance: float = 0.20
+    episode_kind: str = "waypoint"
+    disturbance_categories: Tuple[str, ...] = ("force", "torque", "combined")
+    disturbance_kinds: Tuple[str, ...] = ("step", "impulse")
+    disturbance_scales: Tuple[float, ...] = (1.0,)
+    disturbance_start_times: Tuple[float, ...] = (0.5,)
+    disturbance_force_n: float = 0.08
+    disturbance_torque_nm: float = 0.002
+    recovery_hold_position: Tuple[float, float, float] = (0.0, 0.0, 0.75)
+    recovery_duration: float = 3.0
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "difficulties", tuple(
@@ -122,7 +197,21 @@ class CampaignSpec:
             float(r) for r in _tuple(self.control_rates_hz)))
         object.__setattr__(self, "max_admm_iterations", tuple(
             int(i) for i in _tuple(self.max_admm_iterations)))
+        object.__setattr__(self, "disturbance_categories",
+                           _tuple(self.disturbance_categories))
+        object.__setattr__(self, "disturbance_kinds",
+                           _tuple(self.disturbance_kinds))
+        object.__setattr__(self, "disturbance_scales", tuple(
+            float(s) for s in _tuple(self.disturbance_scales)))
+        object.__setattr__(self, "disturbance_start_times", tuple(
+            float(t) for t in _tuple(self.disturbance_start_times)))
+        object.__setattr__(self, "recovery_hold_position", tuple(
+            float(p) for p in _tuple(self.recovery_hold_position)))
         self.validate()
+
+    @property
+    def is_recovery(self) -> bool:
+        return self.episode_kind == "recovery"
 
     # -- validation -------------------------------------------------------------
     def validate(self) -> None:
@@ -148,17 +237,74 @@ class CampaignSpec:
         for rate in self.control_rates_hz:
             if rate <= 0:
                 raise ValueError("control_rates_hz must be positive")
+        if self.episode_kind not in EPISODE_KINDS:
+            raise ValueError("unknown episode_kind {!r}; options: {}".format(
+                self.episode_kind, ", ".join(EPISODE_KINDS)))
+        if not self.is_recovery:
+            return
+        for axis in ("disturbance_categories", "disturbance_kinds",
+                     "disturbance_scales", "disturbance_start_times"):
+            if not getattr(self, axis):
+                raise ValueError("campaign axis {!r} is empty".format(axis))
+        valid_categories = {c.value for c in DisturbanceCategory}
+        for category in self.disturbance_categories:
+            if category not in valid_categories:
+                raise ValueError(
+                    "unknown disturbance category {!r}; options: {}".format(
+                        category, ", ".join(sorted(valid_categories))))
+        valid_kinds = {k.value for k in DisturbanceType}
+        for kind in self.disturbance_kinds:
+            if kind not in valid_kinds:
+                raise ValueError(
+                    "unknown disturbance kind {!r}; options: {}".format(
+                        kind, ", ".join(sorted(valid_kinds))))
+        for scale in self.disturbance_scales:
+            if scale <= 0:
+                raise ValueError("disturbance_scales must be positive")
+        for start in self.disturbance_start_times:
+            if start < 0:
+                raise ValueError("disturbance_start_times must be >= 0")
+        if self.recovery_duration <= 0:
+            raise ValueError("recovery_duration must be positive")
+        if len(self.difficulties) != 1:
+            raise ValueError(
+                "recovery campaigns take exactly one difficulty (it only "
+                "labels the cell; recovery episodes fly no waypoint scenario)")
 
     # -- expansion --------------------------------------------------------------
+    def disturbances(self) -> List[Disturbance]:
+        """The recovery campaign's disturbance suite, in expansion order
+        (category > kind > direction > magnitude scale > start time).
+
+        Delegates to :func:`repro.drone.disturbance.disturbance_grid`, so
+        the defaults are exactly the paper's 14-event
+        :func:`~repro.drone.disturbance.standard_disturbance_suite`.
+        """
+        if not self.is_recovery:
+            return []
+        return disturbance_grid(
+            categories=tuple(DisturbanceCategory(c)
+                             for c in self.disturbance_categories),
+            kinds=tuple(DisturbanceType(k) for k in self.disturbance_kinds),
+            force_magnitude=self.disturbance_force_n,
+            torque_magnitude=self.disturbance_torque_nm,
+            scales=self.disturbance_scales,
+            start_times=self.disturbance_start_times)
+
     @property
     def size(self) -> int:
-        return (len(self.difficulties) * len(self.seeds)
+        base = (len(self.difficulties) * len(self.seeds)
                 * len(self.implementations) * len(self.frequencies_mhz)
                 * len(self.variants) * len(self.control_rates_hz)
                 * len(self.max_admm_iterations))
+        if not self.is_recovery:
+            return base
+        return base * len(self.disturbances())
 
     def expand(self) -> List[EpisodeSpec]:
         """The campaign's episodes, in the documented deterministic order."""
+        disturbance_axis: List[Optional[Disturbance]] = (
+            self.disturbances() if self.is_recovery else [None])
         return [
             EpisodeSpec(
                 difficulty=difficulty, seed=seed,
@@ -166,13 +312,16 @@ class CampaignSpec:
                 variant=variant, control_rate_hz=rate,
                 max_admm_iterations=iterations,
                 physics_dt=self.physics_dt,
-                waypoint_tolerance=self.waypoint_tolerance)
+                waypoint_tolerance=self.waypoint_tolerance,
+                disturbance=disturbance,
+                hold_position=self.recovery_hold_position,
+                recovery_duration=self.recovery_duration)
             for difficulty, seed, implementation, frequency, variant, rate,
-                iterations
+                iterations, disturbance
             in itertools.product(self.difficulties, self.seeds,
                                  self.implementations, self.frequencies_mhz,
                                  self.variants, self.control_rates_hz,
-                                 self.max_admm_iterations)
+                                 self.max_admm_iterations, disturbance_axis)
         ]
 
     # -- (de)serialization -------------------------------------------------------
@@ -188,6 +337,15 @@ class CampaignSpec:
             "max_admm_iterations": list(self.max_admm_iterations),
             "physics_dt": self.physics_dt,
             "waypoint_tolerance": self.waypoint_tolerance,
+            "episode_kind": self.episode_kind,
+            "disturbance_categories": list(self.disturbance_categories),
+            "disturbance_kinds": list(self.disturbance_kinds),
+            "disturbance_scales": list(self.disturbance_scales),
+            "disturbance_start_times": list(self.disturbance_start_times),
+            "disturbance_force_n": self.disturbance_force_n,
+            "disturbance_torque_nm": self.disturbance_torque_nm,
+            "recovery_hold_position": list(self.recovery_hold_position),
+            "recovery_duration": self.recovery_duration,
         }
 
     @classmethod
@@ -200,6 +358,15 @@ class CampaignSpec:
         return cls(**payload)
 
     def describe(self) -> str:
+        if self.is_recovery:
+            return ("campaign {!r}: {} recovery episodes = {} disturbances x "
+                    "{} seeds x {} impls x {} freqs x {} variants x {} rates "
+                    "x {} iter settings"
+                    .format(self.name, self.size, len(self.disturbances()),
+                            len(self.seeds), len(self.implementations),
+                            len(self.frequencies_mhz), len(self.variants),
+                            len(self.control_rates_hz),
+                            len(self.max_admm_iterations)))
         return ("campaign {!r}: {} episodes = {} difficulties x {} seeds x "
                 "{} impls x {} freqs x {} variants x {} rates x {} iter settings"
                 .format(self.name, self.size, len(self.difficulties),
@@ -253,9 +420,14 @@ class EpisodeFactory:
     def build(self, spec: EpisodeSpec, episode_id: int) -> FleetEpisode:
         problem = self.problem_for(spec.variant, spec.control_rate_hz)
         config = spec.hil_config()
-        scenario = generate_scenario(spec.difficulty, spec.seed)
+        if spec.disturbance is not None:
+            mission = RecoveryEpisode(disturbance=spec.disturbance,
+                                      hold_position=spec.hold_position,
+                                      duration=spec.recovery_duration)
+        else:
+            mission = generate_scenario(spec.difficulty, spec.seed)
         runner = EpisodeRunner(
-            config, self._variants[spec.variant], scenario,
+            config, self._variants[spec.variant], mission,
             soc=self.soc_for(spec.implementation, spec.frequency_mhz,
                              spec.variant, spec.control_rate_hz),
             state_dim=problem.state_dim, episode_id=episode_id)

@@ -46,8 +46,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..hil.episode import EpisodeRunner, SolveRequest
-from ..hil.metrics import ScenarioResult
+from ..hil.episode import EpisodeResult, EpisodeRunner, SolveRequest
 from ..tinympc import (
     BatchTinyMPCSolver,
     MPCProblem,
@@ -78,7 +77,14 @@ def compatibility_key(problem: MPCProblem, settings: SolverSettings) -> Tuple:
 
 @dataclass
 class FleetEpisode:
-    """One schedulable episode: a step generator plus its solver identity."""
+    """One schedulable episode: a step generator plus its solver identity.
+
+    The runner may drive either episode kind — a waypoint scenario
+    (producing a :class:`~repro.hil.metrics.ScenarioResult`) or a
+    disturbance-recovery episode (producing a
+    :class:`~repro.drone.disturbance.RecoveryResult`); the scheduler only
+    sees its solve requests, so both batch identically.
+    """
 
     episode_id: int
     runner: EpisodeRunner
@@ -380,7 +386,7 @@ class FleetScheduler:
         return groups, order
 
     # -- main entry point -------------------------------------------------------
-    def run(self) -> List[ScenarioResult]:
+    def run(self) -> List[EpisodeResult]:
         """Fly every episode to completion; results in input order."""
         if not self.episodes:
             return []

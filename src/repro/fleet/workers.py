@@ -25,7 +25,7 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import multiprocessing
 
-from ..hil.metrics import ScenarioResult
+from ..hil.episode import EpisodeResult
 from .aggregate import FleetAggregator
 from .campaign import CampaignSpec, EpisodeFactory, EpisodeSpec
 from .scheduler import FleetScheduler, SchedulerStats
@@ -55,20 +55,23 @@ def shard_indices(count: int, shards: int) -> List[List[int]]:
 class CampaignResult:
     """Everything a campaign run produced.
 
-    ``results`` holds per-episode outcomes in campaign order — empty when
-    the campaign ran with ``keep_results=False`` (memory-bounded mode,
-    where only the streamed aggregate survives).
+    ``results`` holds per-episode outcomes in campaign order
+    (:class:`~repro.hil.metrics.ScenarioResult` for waypoint episodes,
+    :class:`~repro.drone.disturbance.RecoveryResult` for recovery
+    episodes) — empty when the campaign ran with ``keep_results=False``
+    (memory-bounded mode, where only the streamed aggregate survives).
     """
 
     campaign: Optional[CampaignSpec]
     episodes: List[EpisodeSpec]
-    results: List[ScenarioResult]          # campaign order
+    results: List[EpisodeResult]          # campaign order
     aggregate: FleetAggregator
     stats: SchedulerStats
     workers: int = 1
 
     def rows(self) -> List[Dict[str, object]]:
-        return self.aggregate.rows()
+        """Aggregate rows: waypoint cells followed by recovery cells."""
+        return self.aggregate.rows() + self.aggregate.recovery_rows()
 
     def overall(self) -> Dict[str, object]:
         summary = self.aggregate.overall()
@@ -78,7 +81,7 @@ class CampaignResult:
 
 
 def _run_shard(payload: Tuple) -> Tuple[List[int],
-                                        Optional[List[ScenarioResult]],
+                                        Optional[List[EpisodeResult]],
                                         SchedulerStats,
                                         Optional[FleetAggregator]]:
     """Worker entry point: run one shard's episodes through a scheduler.
@@ -137,7 +140,7 @@ def run_campaign(campaign: Union[CampaignSpec, Sequence[EpisodeSpec]],
     if workers < 1:
         raise ValueError("workers must be at least 1")
 
-    results: List[Optional[ScenarioResult]] = [None] * len(episode_specs)
+    results: List[Optional[EpisodeResult]] = [None] * len(episode_specs)
     stats = SchedulerStats()
     if not episode_specs:
         return CampaignResult(spec, episode_specs, [], FleetAggregator(),

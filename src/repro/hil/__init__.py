@@ -2,7 +2,7 @@
 
 from .uart import UARTLink
 from .dronet import DroNetWorkload
-from .episode import EpisodeRunner, SolveRequest
+from .episode import EpisodeResult, EpisodeRunner, RecoveryEpisode, SolveRequest
 from .soc import SOFTWARE_IMPLEMENTATIONS, SoCModel
 from .rtos import ConcurrentTaskReport, RTOSModel
 from .metrics import (
@@ -19,7 +19,9 @@ from .loop import HILConfig, HILLoop, build_variant_problem
 __all__ = [
     "UARTLink",
     "DroNetWorkload",
+    "EpisodeResult",
     "EpisodeRunner",
+    "RecoveryEpisode",
     "SolveRequest",
     "SOFTWARE_IMPLEMENTATIONS",
     "SoCModel",

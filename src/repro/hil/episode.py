@@ -1,12 +1,26 @@
 """One HIL episode as a solver-agnostic step generator.
 
 Historically the closed-loop episode logic lived inline in
-:meth:`repro.hil.loop.HILLoop.run_scenario`, and the lockstep batched runner
-re-implemented the same state machine a second time.  The fleet campaign
-engine (:mod:`repro.fleet`) needs a third consumer, so the episode is now a
-single implementation shared by every path: a *generator* that owns the
-plant, the latency model, and all metric bookkeeping, and that ``yield``\\ s
-a :class:`SolveRequest` whenever the controller needs an MPC solve.
+:meth:`repro.hil.loop.HILLoop.run_scenario`, the lockstep batched runner
+re-implemented the same state machine a second time, and
+``HILLoop.run_disturbance`` carried a third hand-copied clone for the
+Section 5.2 robustness study.  The fleet campaign engine (:mod:`repro.fleet`)
+made that drift bug farm untenable, so the episode is now a *single*
+implementation shared by every path and both episode kinds: a *generator*
+that owns the plant, the latency model, and all metric bookkeeping, and
+that ``yield``\\ s a :class:`SolveRequest` whenever the controller needs an
+MPC solve.
+
+Two episode kinds run through the one state machine:
+
+* **waypoint tracking** (:class:`~repro.drone.scenarios.Scenario`) — fly the
+  scenario's waypoint schedule; the result is a
+  :class:`~repro.hil.metrics.ScenarioResult`;
+* **disturbance recovery** (:class:`RecoveryEpisode`) — hold a fixed goal,
+  inject the episode's time-varying wrench through
+  ``plant.set_disturbance``, record every step's position, and run
+  :func:`~repro.drone.disturbance.analyze_recovery` at exhaustion; the
+  result is a :class:`~repro.drone.disturbance.RecoveryResult`.
 
 The driver — scalar loop or fleet scheduler — answers each request by
 sending back ``(control, iterations)``; where that solve runs (a scalar
@@ -16,7 +30,7 @@ invisible to the episode.  Because the physics, timing, and metric code is
 literally the same object code on every path, scalar and fleet runs can
 only diverge through the numbers the solver returns.
 
-Timing semantics (identical to the original ``run_scenario`` loop)::
+Timing semantics (identical for both kinds)::
 
     state sampled -> UART downlink -> solve (iterations x cycles / f_clk)
                   -> UART uplink   -> motor command applied
@@ -29,22 +43,25 @@ period boundary after the solver frees up.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Generator, List, Optional, Tuple
+from typing import Generator, List, Optional, Tuple, Union
 
 import numpy as np
 
 from ..drone import (
+    Disturbance,
     DroneParams,
     Quadrotor,
+    RecoveryResult,
     Scenario,
     actuation_power_fn,
+    analyze_recovery,
     hover_input,
     hover_state,
 )
 from .metrics import ScenarioResult
 from .soc import SoCModel
 
-__all__ = ["SolveRequest", "EpisodeRunner"]
+__all__ = ["SolveRequest", "RecoveryEpisode", "EpisodeRunner", "EpisodeResult"]
 
 
 @dataclass
@@ -62,12 +79,30 @@ class SolveRequest:
     goal: np.ndarray         # goal state for the active waypoint, (state_dim,)
 
 
+@dataclass(frozen=True)
+class RecoveryEpisode:
+    """Mission description of one disturbance-recovery episode (Fig. 17).
+
+    The drone holds ``hold_position``, the ``disturbance`` wrench is
+    injected on the physics-tick grid, and the trajectory is analyzed with
+    the paper's 5 cm / 250 ms recovery criterion at episode exhaustion.
+    """
+
+    disturbance: Disturbance
+    hold_position: Tuple[float, float, float] = (0.0, 0.0, 0.75)
+    duration: float = 3.0
+
+
+# What EpisodeRunner.result holds after exhaustion, by episode kind.
+EpisodeResult = Union[ScenarioResult, RecoveryResult]
+
+
 class EpisodeRunner:
-    """Drives one waypoint-tracking scenario, pausing at each solve.
+    """Drives one episode (waypoint or recovery), pausing at each solve.
 
     Usage::
 
-        runner = EpisodeRunner(config, params, scenario, soc=soc)
+        runner = EpisodeRunner(config, params, mission, soc=soc)
         stepper = runner.run()
         response = None
         while True:
@@ -79,12 +114,16 @@ class EpisodeRunner:
             response = (solution.control, solution.iterations)
         result = runner.result
 
-    The generator yields :class:`SolveRequest` objects and expects a
-    ``(control, iterations)`` pair in return.  After exhaustion,
-    :attr:`result` holds the episode's :class:`ScenarioResult`.
+    ``mission`` is either a waypoint :class:`~repro.drone.scenarios.Scenario`
+    or a :class:`RecoveryEpisode`.  The generator yields
+    :class:`SolveRequest` objects and expects a ``(control, iterations)``
+    pair in return.  After exhaustion, :attr:`result` holds the episode's
+    :class:`~repro.hil.metrics.ScenarioResult` (waypoint) or
+    :class:`~repro.drone.disturbance.RecoveryResult` (recovery).
     """
 
-    def __init__(self, config, params: DroneParams, scenario: Scenario,
+    def __init__(self, config, params: DroneParams,
+                 scenario: Union[Scenario, RecoveryEpisode],
                  soc: Optional[SoCModel] = None, state_dim: int = 12,
                  episode_id: int = 0) -> None:
         self.config = config
@@ -93,17 +132,25 @@ class EpisodeRunner:
         self.soc = soc
         self.state_dim = state_dim
         self.episode_id = episode_id
+        self.is_recovery = isinstance(scenario, RecoveryEpisode)
         self.plant = Quadrotor(params, dt=config.physics_dt)
         # Hoisted-constant power model: evaluated every physics tick, and
         # bit-identical to calling total_actuation_power per tick.
         self._actuation_power = actuation_power_fn(params)
-        self._result: Optional[ScenarioResult] = None
+        self._result: Optional[EpisodeResult] = None
+        if self.is_recovery:
+            # Caller-owned wrench buffers: Disturbance.wrench_into writes
+            # them in place every physics tick, and set_disturbance binds
+            # them into the plant once per episode — the per-tick
+            # disturbance path allocates nothing.
+            self._force = np.zeros(3)
+            self._torque = np.zeros(3)
         if not config.is_ideal and soc is None:
             raise ValueError("non-ideal episodes need a compiled SoCModel")
 
     # -- helpers ----------------------------------------------------------------
     @property
-    def result(self) -> ScenarioResult:
+    def result(self) -> EpisodeResult:
         if self._result is None:
             raise RuntimeError("episode has not finished; drive run() first")
         return self._result
@@ -127,11 +174,25 @@ class EpisodeRunner:
 
     # -- the episode state machine ---------------------------------------------
     def run(self) -> Generator[SolveRequest, Tuple[np.ndarray, int], None]:
-        """Fly the scenario, yielding a :class:`SolveRequest` per solve."""
+        """Fly the episode, yielding a :class:`SolveRequest` per solve."""
         config = self.config
         scenario = self.scenario
         plant = self.plant
-        plant.reset(hover_state(scenario.start_position))
+        recovery = self.is_recovery
+        disturbance: Optional[Disturbance] = None
+        if recovery:
+            disturbance = scenario.disturbance
+            hold = np.asarray(scenario.hold_position, dtype=np.float64)
+            plant.reset(hover_state(hold))
+            # By-reference binding: wrench_into mutates these buffers in
+            # place each tick and the plant is guaranteed to see it.
+            plant.bind_disturbance_buffers(self._force, self._torque)
+            goal = self._goal_state(hold)
+            duration = scenario.duration
+        else:
+            plant.reset(hover_state(scenario.start_position))
+            goal = None
+            duration = scenario.duration
 
         hover = hover_input(self.params)
         command = hover.copy()
@@ -144,12 +205,14 @@ class EpisodeRunner:
         solve_iterations: List[int] = []
         compute_busy_time = 0.0
         actuation_energy = 0.0
+        times: List[float] = []
         positions: List[np.ndarray] = []
+        record_positions = recovery or config.record_trajectory
         crashed = False
 
         control_period = (config.physics_dt if config.is_ideal
                           else config.control_period)
-        steps = int(round(scenario.duration / config.physics_dt))
+        steps = int(round(duration / config.physics_dt))
         time = 0.0
         for step in range(steps):
             time = step * config.physics_dt
@@ -159,8 +222,9 @@ class EpisodeRunner:
                 pending_command = None
             # Kick off a new solve at control ticks once the solver is free.
             if time >= next_control_time and time >= solver_free_time:
-                waypoint = scenario.active_waypoint(time)
-                goal = self._goal_state(waypoint.as_array())
+                if not recovery:
+                    waypoint = scenario.active_waypoint(time)
+                    goal = self._goal_state(waypoint.as_array())
                 control, iterations = yield SolveRequest(
                     self.episode_id, time, plant.observe(), goal)
                 latency = self._solve_latency(iterations)
@@ -183,14 +247,36 @@ class EpisodeRunner:
                         (solver_free_time - next_control_time) / control_period))
                     next_control_time += periods_behind * control_period
 
+            if recovery:
+                # Refresh the plant-bound wrench buffers in place.
+                disturbance.wrench_into(time, config.physics_dt,
+                                        self._force, self._torque)
             plant.step(command)
-            actuation_energy += self._actuation_power(
-                plant.rotor_thrusts) * config.physics_dt
-            if config.record_trajectory:
+            if not recovery:
+                # RecoveryResult carries no power metrics, so recovery
+                # episodes skip the per-tick power model (the deleted
+                # run_disturbance loop never paid it either).
+                actuation_energy += self._actuation_power(
+                    plant.rotor_thrusts) * config.physics_dt
+            if record_positions:
                 positions.append(plant.position)
+            if recovery:
+                times.append(time)
             if plant.has_crashed():
                 crashed = True
                 break
+
+        if recovery:
+            plant.clear_disturbance()
+            result = analyze_recovery(
+                times, positions, hold, disturbance.end_time,
+                disturbance_start=disturbance.start_time)
+            result.disturbance = disturbance
+            if crashed:
+                result.recovered = False
+                result.time_to_recovery = None
+            self._result = result
+            return
 
         flight_time = max(time, config.physics_dt)
         final_distance = float(np.linalg.norm(

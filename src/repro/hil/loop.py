@@ -28,14 +28,11 @@ from ..drone import (
     Quadrotor,
     RecoveryResult,
     Scenario,
-    analyze_recovery,
     crazyflie,
-    hover_input,
-    hover_state,
     linearize_hover,
 )
 from ..tinympc import MPCProblem, SolverSettings, TinyMPCSolver
-from .episode import EpisodeRunner
+from .episode import EpisodeRunner, RecoveryEpisode
 from .metrics import ScenarioResult
 from .soc import SoCModel
 from .uart import UARTLink
@@ -109,28 +106,51 @@ class HILLoop:
             self.soc.compile_problem(self.problem)
 
     # -- helpers -----------------------------------------------------------------
-    def _goal_state(self, position: np.ndarray) -> np.ndarray:
-        goal = np.zeros(self.problem.state_dim)
-        goal[0:3] = position
-        return goal
-
-    def _solve(self, state: np.ndarray, goal: np.ndarray) -> Tuple[np.ndarray, int]:
-        solution = self.solver.solve(state, Xref=goal)
-        return solution.control, solution.iterations
-
-    def _solve_latency(self, iterations: int) -> float:
-        """End-to-end latency from state sample to applied command."""
-        if self.config.is_ideal:
-            return 0.0
-        compute = self.soc.solve_latency(iterations)
-        return self.config.uart.downlink_latency + compute + self.config.uart.uplink_latency
-
-    def _episode_runner(self, scenario: Scenario,
+    def _episode_runner(self, mission,
                         episode_id: int = 0) -> EpisodeRunner:
-        """Build the shared episode step generator for one scenario."""
-        return EpisodeRunner(self.config, self.params, scenario, soc=self.soc,
+        """Build the shared episode step generator for one mission.
+
+        ``mission`` is either a waypoint :class:`Scenario` or a
+        :class:`~repro.hil.episode.RecoveryEpisode`.
+        """
+        return EpisodeRunner(self.config, self.params, mission, soc=self.soc,
                              state_dim=self.problem.state_dim,
                              episode_id=episode_id)
+
+    def _run_fleet(self, missions) -> List:
+        """Fly the missions through the fleet scheduler with batched solves.
+
+        Every mission (waypoint :class:`Scenario` or
+        :class:`~repro.hil.episode.RecoveryEpisode`) becomes one
+        :class:`~repro.fleet.scheduler.FleetEpisode` sharing this loop's
+        configuration — the single fleet-dispatch path behind both
+        :meth:`run_scenarios` and :meth:`run_disturbances`.
+        """
+        from ..fleet.scheduler import FleetEpisode, FleetScheduler
+
+        settings = SolverSettings(
+            max_iterations=self.config.max_admm_iterations, warm_start=True)
+        episodes = [
+            FleetEpisode(episode_id=index,
+                         runner=self._episode_runner(mission, index),
+                         problem=self.problem, settings=settings,
+                         cache=self.solver.cache)
+            for index, mission in enumerate(missions)]
+        return FleetScheduler(episodes).run()
+
+    def _drive_with_scalar_solver(self, runner: EpisodeRunner):
+        """Answer a runner's solve requests with this loop's scalar solver."""
+        self.solver.reset()
+        stepper = runner.run()
+        response = None
+        while True:
+            try:
+                request = stepper.send(response)
+            except StopIteration:
+                break
+            solution = self.solver.solve(request.x0, Xref=request.goal)
+            response = (solution.control, solution.iterations)
+        return runner.result
 
     # -- main entry points ----------------------------------------------------------
     def run_scenario(self, scenario: Scenario) -> ScenarioResult:
@@ -143,18 +163,7 @@ class HILLoop:
         the *same* episode implementation, which is what keeps scalar and
         fleet results equivalent.
         """
-        self.solver.reset()
-        runner = self._episode_runner(scenario)
-        stepper = runner.run()
-        response = None
-        while True:
-            try:
-                request = stepper.send(response)
-            except StopIteration:
-                break
-            solution = self.solver.solve(request.x0, Xref=request.goal)
-            response = (solution.control, solution.iterations)
-        return runner.result
+        return self._drive_with_scalar_solver(self._episode_runner(scenario))
 
     def run_scenarios(self, scenarios: List[Scenario],
                       batched: bool = True) -> List[ScenarioResult]:
@@ -179,86 +188,52 @@ class HILLoop:
         With ``batched=False`` this is exactly a loop over
         :meth:`run_scenario` — the reference the equivalence tests use.
         """
-        from ..fleet.scheduler import FleetEpisode, FleetScheduler
-
         scenarios = list(scenarios)
         if not scenarios:
             return []
         if not batched:
             return [self.run_scenario(scenario) for scenario in scenarios]
-        settings = SolverSettings(
-            max_iterations=self.config.max_admm_iterations, warm_start=True)
-        episodes = [
-            FleetEpisode(episode_id=index,
-                         runner=self._episode_runner(scenario, index),
-                         problem=self.problem, settings=settings,
-                         cache=self.solver.cache)
-            for index, scenario in enumerate(scenarios)]
-        return FleetScheduler(episodes).run()
+        return self._run_fleet(scenarios)
 
     def run_disturbance(self, disturbance: Disturbance,
                         hold_position: Tuple[float, float, float] = (0.0, 0.0, 0.75),
                         duration: float = 3.0) -> RecoveryResult:
         """Hold position, inject a disturbance, and measure recovery.
 
-        Note: this loop intentionally duplicates the solve-timing state
-        machine of :class:`~repro.hil.episode.EpisodeRunner` (disturbance
-        episodes hold a goal, inject wrenches, and record every step's
-        position instead of flying waypoints).  If the timing semantics in
-        ``episode.py`` ever change, mirror them here.
+        A disturbance episode is driven by the *same*
+        :class:`~repro.hil.episode.EpisodeRunner` state machine as waypoint
+        scenarios (this method used to carry a hand-copied second timing
+        loop); it merely answers the runner's solve requests with this
+        loop's scalar solver, exactly like :meth:`run_scenario`.
         """
-        config = self.config
-        plant = self.plant
-        solver = self.solver
-        solver.reset()
-        hold = np.asarray(hold_position, dtype=np.float64)
-        plant.reset(hover_state(hold))
-        goal = self._goal_state(hold)
+        mission = RecoveryEpisode(disturbance=disturbance,
+                                  hold_position=tuple(hold_position),
+                                  duration=duration)
+        return self._drive_with_scalar_solver(self._episode_runner(mission))
 
-        hover = hover_input(self.params)
-        command = hover.copy()
-        pending_command: Optional[np.ndarray] = None
-        pending_ready_time = 0.0
-        solver_free_time = 0.0
-        next_control_time = 0.0
-        control_period = (config.physics_dt if config.is_ideal
-                          else config.control_period)
+    def run_disturbances(self, disturbances: List[Disturbance],
+                         hold_position: Tuple[float, float, float] = (0.0, 0.0, 0.75),
+                         duration: float = 3.0,
+                         batched: bool = True) -> List[RecoveryResult]:
+        """Run several disturbance-recovery episodes, batching their solves.
 
-        times: List[float] = []
-        positions: List[np.ndarray] = []
-        steps = int(round(duration / config.physics_dt))
-        for step in range(steps):
-            time = step * config.physics_dt
-            if pending_command is not None and time >= pending_ready_time:
-                command = hover + pending_command
-                pending_command = None
-            if time >= next_control_time and time >= solver_free_time:
-                control, iterations = self._solve(plant.observe(), goal)
-                latency = self._solve_latency(iterations)
-                if config.is_ideal:
-                    command = hover + control
-                else:
-                    pending_command = control
-                    pending_ready_time = time + latency
-                    solver_free_time = time + max(latency, 1e-9)
-                next_control_time += control_period
-                if solver_free_time > next_control_time:
-                    periods_behind = int(np.ceil(
-                        (solver_free_time - next_control_time) / control_period))
-                    next_control_time += periods_behind * control_period
-
-            force, torque = disturbance.wrench_at(time, config.physics_dt)
-            plant.set_disturbance(force=force, torque=torque)
-            plant.step(command)
-            times.append(time)
-            positions.append(plant.position)
-            if plant.has_crashed():
-                break
-        plant.clear_disturbance()
-
-        result = analyze_recovery(times, positions, hold, disturbance.end_time)
-        result.disturbance = disturbance
-        if plant.has_crashed():
-            result.recovered = False
-            result.time_to_recovery = None
-        return result
+        The fleet-scheduler counterpart of :meth:`run_disturbance`, exactly
+        as :meth:`run_scenarios` is to :meth:`run_scenario`: every
+        disturbance becomes one recovery episode sharing this loop's
+        configuration, and compatible solves dispatch through
+        :class:`~repro.tinympc.batch.BatchTinyMPCSolver`.  Discrete recovery
+        outcomes match the serial path exactly; float metrics (TTR, max
+        deviation) to GEMM round-off.  ``batched=False`` is a plain loop
+        over :meth:`run_disturbance` — the bit-for-bit reference.
+        """
+        disturbances = list(disturbances)
+        if not disturbances:
+            return []
+        if not batched:
+            return [self.run_disturbance(disturbance, hold_position, duration)
+                    for disturbance in disturbances]
+        return self._run_fleet([
+            RecoveryEpisode(disturbance=disturbance,
+                            hold_position=tuple(hold_position),
+                            duration=duration)
+            for disturbance in disturbances])

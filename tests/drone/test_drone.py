@@ -271,11 +271,34 @@ class TestDisturbances:
         assert np.all(force == 0.0)
         assert torque[2] == pytest.approx(0.01)
 
-    def test_zero_direction_rejected(self):
-        d = Disturbance(DisturbanceCategory.FORCE, DisturbanceType.STEP,
-                        (0, 0, 0), 0.1)
+    def test_zero_direction_rejected_at_construction(self):
+        """The unit direction is normalized once per Disturbance, so a
+        degenerate direction fails fast instead of on the first tick."""
         with pytest.raises(ValueError):
-            d.wrench_at(0.6, 0.002)
+            Disturbance(DisturbanceCategory.FORCE, DisturbanceType.STEP,
+                        (0, 0, 0), 0.1)
+
+    def test_wrench_into_matches_wrench_at(self):
+        force_buf, torque_buf = np.zeros(3), np.zeros(3)
+        for category in DisturbanceCategory:
+            for kind in DisturbanceType:
+                d = Disturbance(category, kind, (1.0, -2.0, 0.5), 0.07,
+                                start_time=0.5)
+                for t in (0.0, 0.5, 0.502, 0.55, 0.7):
+                    force, torque = d.wrench_at(t, 0.002)
+                    d.wrench_into(t, 0.002, force_buf, torque_buf)
+                    np.testing.assert_array_equal(force, force_buf)
+                    np.testing.assert_array_equal(torque, torque_buf)
+
+    def test_impulse_off_grid_start_time_fires_once(self):
+        """An impulse whose start time is not a physics-step multiple must
+        still deliver its full impulse in exactly one step."""
+        d = Disturbance(DisturbanceCategory.FORCE, DisturbanceType.IMPULSE,
+                        (1, 0, 0), 0.1, start_time=0.5001, duration=0.1)
+        dt = 0.002
+        amplitudes = [d.wrench_at(t, dt)[0][0] for t in np.arange(0.0, 1.0, dt)]
+        assert sum(1 for a in amplitudes if a != 0.0) == 1
+        assert sum(amplitudes) * dt == pytest.approx(0.1 * 0.1, rel=1e-6)
 
     def test_recovery_analysis_detects_recovery(self):
         times = np.arange(0.0, 2.0, 0.01)
@@ -292,6 +315,74 @@ class TestDisturbances:
         result = analyze_recovery(times, positions, [0, 0, 0], disturbance_end=0.2)
         assert not result.recovered
         assert result.time_to_recovery is None
+
+
+class TestRecoveryEdgeSemantics:
+    """The paper criterion at its boundaries: 5 cm held for a full 250 ms."""
+
+    def _trajectory(self, inside_from, end, dt=0.01, displaced=0.3):
+        times = np.arange(0.0, end + 0.5 * dt, dt)
+        positions = np.zeros((len(times), 3))
+        positions[times < inside_from, 0] = displaced
+        return times, positions
+
+    def test_truncated_tail_is_not_recovered(self):
+        """Ending inside the radius after only half a hold window used to
+        count as recovered, silently relaxing the 250 ms criterion."""
+        times, positions = self._trajectory(inside_from=0.5, end=0.65)
+        result = analyze_recovery(times, positions, [0, 0, 0],
+                                  disturbance_end=0.2)
+        assert not result.recovered
+        assert result.time_to_recovery is None
+
+    def test_truncated_tail_flag_restores_relaxed_rule(self):
+        times, positions = self._trajectory(inside_from=0.5, end=0.65)
+        result = analyze_recovery(times, positions, [0, 0, 0],
+                                  disturbance_end=0.2,
+                                  allow_truncated_tail=True)
+        assert result.recovered
+        assert result.time_to_recovery == pytest.approx(0.3, abs=0.02)
+
+    def test_exact_boundary_hold_window_recovers(self):
+        """A tail of exactly hold_time inside the radius recovers."""
+        times, positions = self._trajectory(inside_from=0.5, end=0.75)
+        result = analyze_recovery(times, positions, [0, 0, 0],
+                                  disturbance_end=0.2)
+        assert result.recovered
+        assert result.time_to_recovery == pytest.approx(0.3, abs=0.02)
+
+    def test_max_deviation_includes_disturbance_window(self):
+        """The peak excursion during the 100 ms disturbance window counts;
+        measuring only after disturbance_end understated it."""
+        times = np.arange(0.0, 2.0, 0.01)
+        positions = np.zeros((len(times), 3))
+        window = (times >= 0.5) & (times < 0.6)
+        positions[window, 0] = 0.8                    # in-window peak
+        positions[(times >= 0.6) & (times < 0.9), 0] = 0.2   # post-window ringing
+        result = analyze_recovery(times, positions, [0, 0, 0],
+                                  disturbance_end=0.6, disturbance_start=0.5)
+        assert result.max_deviation == pytest.approx(0.8)
+        assert result.recovered
+
+    def test_empty_trajectory(self):
+        result = analyze_recovery([], [], [0, 0, 0], disturbance_end=0.6)
+        assert not result.recovered
+        assert result.time_to_recovery is None
+        assert result.max_deviation == float("inf")
+
+    def test_short_trajectory_ending_before_disturbance_end(self):
+        times = np.arange(0.0, 0.3, 0.01)
+        positions = np.zeros((len(times), 3))
+        result = analyze_recovery(times, positions, [0, 0, 0],
+                                  disturbance_end=0.6, disturbance_start=0.25)
+        assert not result.recovered
+        assert result.time_to_recovery is None
+        assert np.isfinite(result.max_deviation)
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            analyze_recovery([0.0, 0.01], np.zeros((3, 3)), [0, 0, 0],
+                             disturbance_end=0.0)
 
 
 @settings(max_examples=20, deadline=None)

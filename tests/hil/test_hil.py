@@ -176,6 +176,29 @@ class TestClosedLoop:
         assert result.recovered
         assert result.max_deviation > 0.0
 
+    def test_crash_during_disturbance_window_is_not_recovered(self):
+        """An unrecoverable wrench must report recovered=False with no TTR,
+        even though the trajectory ends early (inside nothing)."""
+        loop = HILLoop(HILConfig(implementation="vector", frequency_mhz=100.0))
+        disturbance = Disturbance(DisturbanceCategory.TORQUE,
+                                  DisturbanceType.STEP,
+                                  (1.0, 0.0, 0.0), 1.0, start_time=0.5)
+        result = loop.run_disturbance(disturbance, duration=2.5)
+        assert result.recovered is False
+        assert result.time_to_recovery is None
+        assert result.max_deviation > 0.0
+
+    def test_unaligned_impulse_start_runs_closed_loop(self):
+        """An impulse start time off the physics-step grid still injects
+        exactly one kick and the episode completes normally."""
+        loop = HILLoop(HILConfig(implementation="vector", frequency_mhz=100.0))
+        disturbance = Disturbance(DisturbanceCategory.FORCE,
+                                  DisturbanceType.IMPULSE,
+                                  (1.0, 0.0, 0.0), 0.05, start_time=0.5001)
+        result = loop.run_disturbance(disturbance, duration=2.5)
+        assert result.max_deviation > 0.0
+        assert result.recovered
+
     def test_trajectory_recording(self):
         config = HILConfig(implementation="ideal", record_trajectory=True)
         loop = HILLoop(config)
@@ -216,3 +239,36 @@ class TestBatchedScenarioRunner:
     def test_empty_scenario_list(self):
         loop = HILLoop(HILConfig(implementation="vector", frequency_mhz=100.0))
         assert loop.run_scenarios([]) == []
+
+
+class TestBatchedDisturbanceRunner:
+    def test_batched_matches_sequential_disturbances(self):
+        """run_disturbances(batched=True) reproduces run_disturbance."""
+        loop = HILLoop(HILConfig(implementation="vector", frequency_mhz=100.0))
+        disturbances = [
+            Disturbance(DisturbanceCategory.FORCE, DisturbanceType.STEP,
+                        (1.0, 0.0, 0.0), 0.08, start_time=0.5),
+            Disturbance(DisturbanceCategory.TORQUE, DisturbanceType.IMPULSE,
+                        (0.0, 0.0, 1.0), 0.002, start_time=0.5),
+            Disturbance(DisturbanceCategory.COMBINED, DisturbanceType.STEP,
+                        (1.0, 1.0, 0.5), 0.08, start_time=0.5),
+        ]
+        sequential = loop.run_disturbances(disturbances, duration=2.5,
+                                           batched=False)
+        batched = loop.run_disturbances(disturbances, duration=2.5,
+                                        batched=True)
+        assert len(batched) == len(sequential)
+        for reference, result in zip(sequential, batched):
+            assert result.recovered == reference.recovered
+            assert ((result.time_to_recovery is None)
+                    == (reference.time_to_recovery is None))
+            if reference.time_to_recovery is not None:
+                assert result.time_to_recovery == pytest.approx(
+                    reference.time_to_recovery, abs=1e-9)
+            assert result.max_deviation == pytest.approx(
+                reference.max_deviation, rel=1e-6)
+            assert result.disturbance == reference.disturbance
+
+    def test_empty_disturbance_list(self):
+        loop = HILLoop(HILConfig(implementation="vector", frequency_mhz=100.0))
+        assert loop.run_disturbances([]) == []
