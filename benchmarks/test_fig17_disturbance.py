@@ -3,10 +3,10 @@
 Beyond the paper-shape assertions, this module is the perf-regression
 harness for the fleet-batched Fig. 17 sweep: the full suite (scalar +
 vector x 14 disturbances) is timed both as the serial per-episode
-``run_disturbance`` stream and as one batched recovery campaign, the
-speedup is asserted and recorded in ``BENCH_fig17.json``, and the per-tick
-disturbance wrench path is held to the PR 3 zero-allocation discipline with
-tracemalloc (numpy allocation domain).
+``run_disturbance`` stream and as one batched recovery campaign, and the
+speedup is asserted and recorded in ``BENCH_fig17.json``.  The per-tick
+wrench path's zero-allocation discipline is tier-1 coverage now
+(``tests/drone/test_wrench_allocations.py``).
 """
 
 import os
@@ -14,12 +14,7 @@ import time
 
 import numpy as np
 
-from repro.bench import (
-    ALLOC_PEAK_LIMIT_SCALAR,
-    measure_iteration_allocations,
-    write_bench_report,
-)
-from repro.drone import Disturbance, DisturbanceCategory, DisturbanceType
+from repro.bench import write_bench_report
 from repro.experiments import fig17_disturbance_recovery
 from repro.fleet import CampaignSpec, SolverPool, run_campaign
 from repro.fleet import scheduler as fleet_scheduler
@@ -120,37 +115,3 @@ def test_fig17_fleet_speedup_and_equivalence(show_rows):
             outcome.stats.mean_batch_width)
     assert speedup >= FIG17_SPEEDUP_FLOOR, \
         "fleet Fig. 17 sweep only {:.2f}x faster than serial".format(speedup)
-
-
-class TestDisturbanceHotpathAllocations:
-    """The per-tick wrench evaluation must stay allocation-free."""
-
-    DT = 0.002
-    TICKS = tuple(np.arange(0.0, 1.5, 0.002))
-
-    def _disturbance(self):
-        return Disturbance(DisturbanceCategory.COMBINED, DisturbanceType.STEP,
-                           (1.0, 1.0, 0.5), 0.08, start_time=0.5)
-
-    def test_wrench_into_allocates_nothing(self):
-        """A full disturbance episode's wrench ticks retain zero numpy
-        bytes and never exceed the scalar hot-path peak ceiling."""
-        d = self._disturbance()
-        force, torque = np.zeros(3), np.zeros(3)
-
-        def episode_ticks():
-            for t in self.TICKS:
-                d.wrench_into(t, self.DT, force, torque)
-
-        counts = measure_iteration_allocations(episode_ticks)
-        assert counts["numpy_net_bytes"] == 0, counts
-        assert counts["peak_bytes"] < ALLOC_PEAK_LIMIT_SCALAR, counts
-
-    def test_probe_detects_the_allocating_wrench_path(self):
-        """Sensitivity check: retaining wrench_at's per-tick arrays must
-        trip the same numpy-domain accounting."""
-        d = self._disturbance()
-        sink = []
-        counts = measure_iteration_allocations(
-            lambda: sink.extend(d.wrench_at(0.55, self.DT)))
-        assert counts["numpy_net_bytes"] > 0, counts

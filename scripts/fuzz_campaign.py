@@ -1,0 +1,129 @@
+#!/usr/bin/env python
+"""Hunt the recovery boundary with the property-based campaign fuzzer.
+
+Samples seeded episode specs along each fuzz axis (wrench steps/impulses,
+Dryden and discrete gusts, sensor noise/latency/dropout, payload mass
+mismatch), bisects the recovered/failed boundary per axis at fleet
+throughput, shrinks each failure to a minimal spec, and writes JSON
+regression fixtures plus a deterministic report.  Examples::
+
+    # full axis catalog, 2 nuisance draws each, fixtures + report
+    PYTHONPATH=src python scripts/fuzz_campaign.py \\
+        --seed 0 --fixtures-dir fuzz-fixtures --output fuzz-report.json
+
+    # CI smoke: two axes, single draw, then re-replay the minted fixtures
+    PYTHONPATH=src python scripts/fuzz_campaign.py \\
+        --axes force-step,mass-mismatch --draws 1 --rungs 4 --bisect 3 \\
+        --fixtures-dir fuzz-fixtures --replay-check
+
+Exit status: 1 when the fuzzer flew no episodes, 2 when ``--replay-check``
+found a fixture that does not reproduce (the determinism alarm CI cares
+about), else 0.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.fuzz import (                                     # noqa: E402
+    FuzzConfig,
+    axis_names,
+    load_fixtures,
+    replay_fixture,
+    run_fuzz_campaign,
+)
+
+
+def _csv(value: str):
+    return [item for item in value.split(",") if item]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        description="Property-based recovery-boundary fuzzer.")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="fuzz campaign seed (drives nuisance draws)")
+    parser.add_argument("--axes", type=_csv, default=None,
+                        help="comma-separated axis names (default: all: {})"
+                        .format(",".join(axis_names())))
+    parser.add_argument("--draws", type=int, default=2,
+                        help="nuisance draws per axis")
+    parser.add_argument("--rungs", type=int, default=5,
+                        help="coarse magnitude-ladder rungs per hunt")
+    parser.add_argument("--bisect", type=int, default=4,
+                        help="bisection rounds after bracketing")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="worker processes for the batched hunt")
+    parser.add_argument("--fixtures-dir", default=None,
+                        help="write shrunk failure fixtures here")
+    parser.add_argument("--output", default=None,
+                        help="write the fuzz report JSON here")
+    parser.add_argument("--replay-check", action="store_true",
+                        help="after fuzzing, replay every fixture in "
+                             "--fixtures-dir and fail on divergence")
+    parser.add_argument("--quiet", action="store_true")
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    config = FuzzConfig(seed=args.seed,
+                        axes=tuple(args.axes) if args.axes else (),
+                        draws_per_axis=args.draws, rungs=args.rungs,
+                        bisect_rounds=args.bisect, workers=args.workers)
+    start = time.perf_counter()
+    report = run_fuzz_campaign(config, fixture_dir=args.fixtures_dir)
+    elapsed = time.perf_counter() - start
+
+    if not args.quiet:
+        for boundary in report.boundaries:
+            bracket = ("boundary in ({:.4g}, {:.4g}]".format(
+                boundary.lo_pass, boundary.hi_fail)
+                if boundary.lo_pass is not None
+                and boundary.hi_fail is not None
+                else "fails from the bottom of the range"
+                if boundary.lo_pass is None and boundary.hi_fail is not None
+                else "recovered across the whole range")
+            print("{:>16} draw {}: {} ({} probes{})".format(
+                boundary.axis, boundary.draw, bracket,
+                len(boundary.evaluations),
+                ", fixture " + boundary.fixture if boundary.fixture else ""))
+        print("\n{} episodes in {:.2f}s ({:.1f} episodes/s), {} fixtures"
+              .format(report.episodes_flown, elapsed,
+                      report.episodes_flown / elapsed if elapsed else 0.0,
+                      len(report.fixtures)))
+
+    if args.output:
+        with open(args.output, "w") as handle:
+            json.dump(report.as_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        if not args.quiet:
+            print("wrote {}".format(args.output))
+
+    if args.replay_check:
+        if not args.fixtures_dir:
+            print("--replay-check needs --fixtures-dir", file=sys.stderr)
+            return 2
+        diverged = False
+        for name, payload in load_fixtures(args.fixtures_dir):
+            _, divergences = replay_fixture(payload)
+            status = "ok" if not divergences else "DIVERGED"
+            if not args.quiet or divergences:
+                print("replay {}: {}".format(name, status))
+            for message in divergences:
+                print("  " + message, file=sys.stderr)
+                diverged = True
+        if diverged:
+            return 2
+
+    return 0 if report.episodes_flown else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

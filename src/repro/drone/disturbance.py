@@ -14,6 +14,7 @@ The closed-loop execution lives in :mod:`repro.hil.loop`.
 from __future__ import annotations
 
 import enum
+import math
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -57,7 +58,21 @@ class Disturbance:
     duration: float = DEFAULT_DURATION
 
     def __post_init__(self) -> None:
+        # Reject garbage early: a NaN magnitude or start time silently
+        # produces a never-active (or always-active) wrench window and a
+        # boundary search that bisects noise.
+        if not math.isfinite(self.magnitude):
+            raise ValueError("disturbance magnitude must be finite, got {!r}"
+                             .format(self.magnitude))
+        if not math.isfinite(self.start_time):
+            raise ValueError("disturbance start_time must be finite, got {!r}"
+                             .format(self.start_time))
+        if not math.isfinite(self.duration) or self.duration <= 0:
+            raise ValueError("disturbance duration must be finite and "
+                             "positive, got {!r}".format(self.duration))
         direction = np.asarray(self.direction, dtype=np.float64)
+        if not np.all(np.isfinite(direction)):
+            raise ValueError("disturbance direction must be finite")
         norm = np.linalg.norm(direction)
         if norm == 0:
             raise ValueError("disturbance direction must be non-zero")
@@ -69,6 +84,16 @@ class Disturbance:
     @property
     def end_time(self) -> float:
         return self.start_time + self.duration
+
+    def sampler(self, physics_dt: float, duration: float) -> "Disturbance":
+        """The per-tick wrench source for one episode.
+
+        Part of the shared wrench-event protocol (see
+        :mod:`repro.drone.gusts`): stochastic fields tabulate a seeded
+        realization here; a discrete disturbance is closed-form and simply
+        samples itself.
+        """
+        return self
 
     def _amplitude_at(self, time: float, physics_dt: float) -> float:
         """Scalar wrench amplitude at ``time`` (0.0 outside the window).

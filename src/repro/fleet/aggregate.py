@@ -282,7 +282,7 @@ class FleetAggregator:
         if isinstance(result, RecoveryResult):
             if key is None:
                 disturbance = result.disturbance
-                key = ("-", "-", 0.0, "-", 0.0, 0,
+                key = ("-", "-", 0.0, "-", 0.0, 0, 1.0, "clean",
                        disturbance.category.value if disturbance else "-",
                        disturbance.kind.value if disturbance else "-")
             cell = self.recovery_cells.get(key)
@@ -294,7 +294,7 @@ class FleetAggregator:
             return
         if key is None:
             key = (result.scenario.difficulty.value, result.implementation,
-                   result.frequency_mhz, "-", 0.0, 0)
+                   result.frequency_mhz, "-", 0.0, 0, 1.0, "clean")
         cell = self.cells.get(key)
         if cell is None:
             cell = CellAggregate(key=key, sample_cap=self.sample_cap)

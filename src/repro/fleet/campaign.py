@@ -13,8 +13,9 @@ distinct configuration exactly once.
 
 Expansion order is the documented public contract: axes nest in the order
 ``difficulty > seed > implementation > frequency > variant > control rate >
-max iterations`` (with the disturbance axis ``category > kind > direction >
-magnitude scale > start time`` nested innermost for recovery campaigns), so
+max iterations > mass scale`` (with the disturbance axis ``category > kind >
+direction > magnitude scale > start time`` nested innermost for recovery
+campaigns), so
 episode index ``i`` always means the same episode — that is what makes
 sharded runs (:mod:`repro.fleet.workers`) and cached campaign rows
 reproducible.
@@ -31,7 +32,9 @@ per-category recovery statistics by the
 
 from __future__ import annotations
 
+import dataclasses
 import itertools
+import math
 from dataclasses import dataclass, fields
 from typing import Dict, List, Optional, Tuple, Union
 
@@ -43,8 +46,11 @@ from ..drone import (
     all_variants,
     disturbance_grid,
     generate_scenario,
+    wrench_from_dict,
+    wrench_to_dict,
 )
 from ..hil.episode import EpisodeRunner, RecoveryEpisode
+from ..hil.faults import SensorFaults
 from ..hil.loop import HILConfig, build_variant_problem
 from ..hil.soc import SOFTWARE_IMPLEMENTATIONS, SoCModel
 from ..tinympc import SolverSettings
@@ -57,9 +63,14 @@ __all__ = ["EpisodeSpec", "CampaignSpec", "EpisodeFactory", "CELL_AXES",
 
 # The configuration axes (everything but the seed) that define an aggregate
 # cell: episodes differing only by seed are repetitions of one cell.
+# ``mass_scale`` is the plant-vs-model payload mismatch factor and
+# ``sensor_profile`` a compact rendering of the episode's sensor fault
+# profile ("clean" when faults are off) — both split cells because they
+# change the closed-loop plant, not just the repetition seed.
 CELL_AXES: Tuple[str, ...] = ("difficulty", "implementation", "frequency_mhz",
                               "variant", "control_rate_hz",
-                              "max_admm_iterations")
+                              "max_admm_iterations", "mass_scale",
+                              "sensor_profile")
 
 # Recovery cells additionally split per disturbance category and kind (the
 # Fig. 17 grouping); direction, magnitude ladder rung, start time, and seed
@@ -75,11 +86,18 @@ class EpisodeSpec:
     """One fully-determined episode of a campaign.
 
     ``disturbance`` selects the episode kind: ``None`` is a waypoint
-    scenario generated from ``(difficulty, seed)``; a
-    :class:`~repro.drone.disturbance.Disturbance` makes this a
-    disturbance-recovery episode holding ``hold_position`` for
-    ``recovery_duration`` seconds (``difficulty`` and ``seed`` then only
-    label the cell — recovery physics is deterministic).
+    scenario generated from ``(difficulty, seed)``; a wrench event (a
+    :class:`~repro.drone.disturbance.Disturbance` or one of the
+    :mod:`repro.drone.gusts` models) makes this a disturbance-recovery
+    episode holding ``hold_position`` for ``recovery_duration`` seconds
+    (``difficulty`` and ``seed`` then only label the cell — recovery
+    physics is deterministic).
+
+    ``mass_scale`` flies the *plant* at ``mass x scale`` with motors held
+    fixed (thrust-to-weight divided by the same factor) while the
+    controller keeps the nominal model — the payload/linearization
+    mismatch axis.  ``sensor_faults`` corrupts what the solver sees (noise,
+    latency, dropout) without touching the recorded truth.
     """
 
     difficulty: Difficulty
@@ -94,10 +112,38 @@ class EpisodeSpec:
     disturbance: Optional[Disturbance] = None
     hold_position: Tuple[float, float, float] = (0.0, 0.0, 0.75)
     recovery_duration: float = 3.0
+    mass_scale: float = 1.0
+    sensor_faults: Optional[SensorFaults] = None
+
+    def __post_init__(self) -> None:
+        scale = float(self.mass_scale)
+        if not math.isfinite(scale) or scale <= 0:
+            raise ValueError("mass_scale must be finite and positive, got "
+                             "{!r}".format(self.mass_scale))
+        faults = self.sensor_faults
+        if faults is not None and faults.is_null:
+            # Canonicalize: a null fault profile IS clean sensing.  Keeping
+            # one representation makes spec equality, cell keys, and fuzzer
+            # shrinking well-behaved.
+            object.__setattr__(self, "sensor_faults", None)
 
     @property
     def is_recovery(self) -> bool:
         return self.disturbance is not None
+
+    @property
+    def sensor_profile(self) -> str:
+        """Compact cell-key rendering of the sensor fault profile.
+
+        The fault *seed* is deliberately excluded: like the episode seed,
+        it selects a repetition (one noise realization) within the cell,
+        not a different configuration.
+        """
+        faults = self.sensor_faults
+        if faults is None:
+            return "clean"
+        return "n{:g}/l{:g}/d{:g}".format(
+            faults.noise_std, faults.latency_s, faults.dropout_rate)
 
     def hil_config(self) -> HILConfig:
         return HILConfig(
@@ -117,7 +163,8 @@ class EpisodeSpec:
         direction, magnitude rung, start time, and seed repeat within one).
         """
         base = (self.difficulty.value, self.implementation, self.frequency_mhz,
-                self.variant, self.control_rate_hz, self.max_admm_iterations)
+                self.variant, self.control_rate_hz, self.max_admm_iterations,
+                self.mass_scale, self.sensor_profile)
         if self.disturbance is None:
             return base
         return base + (self.disturbance.category.value,
@@ -127,9 +174,58 @@ class EpisodeSpec:
         label = "{}/s{}/{}@{:g}MHz/{}/{:g}Hz".format(
             self.difficulty.value, self.seed, self.implementation,
             self.frequency_mhz, self.variant, self.control_rate_hz)
+        if self.mass_scale != 1.0:
+            label += "/mx{:g}".format(self.mass_scale)
+        if self.sensor_faults is not None:
+            label += "/" + self.sensor_profile
         if self.disturbance is not None:
             label += "/" + self.disturbance.describe()
         return label
+
+    # -- (de)serialization -------------------------------------------------------
+    def to_dict(self) -> Dict:
+        """JSON-safe rendering; exact inverse of :meth:`from_dict`.
+
+        The fuzzer's shrunk regression fixtures persist episodes through
+        this pair, so it must round-trip *every* field bit-for-bit.
+        """
+        return {
+            "difficulty": self.difficulty.value,
+            "seed": self.seed,
+            "implementation": self.implementation,
+            "frequency_mhz": self.frequency_mhz,
+            "variant": self.variant,
+            "control_rate_hz": self.control_rate_hz,
+            "max_admm_iterations": self.max_admm_iterations,
+            "physics_dt": self.physics_dt,
+            "waypoint_tolerance": self.waypoint_tolerance,
+            "disturbance": (None if self.disturbance is None
+                            else wrench_to_dict(self.disturbance)),
+            "hold_position": list(self.hold_position),
+            "recovery_duration": self.recovery_duration,
+            "mass_scale": self.mass_scale,
+            "sensor_faults": (None if self.sensor_faults is None
+                              else self.sensor_faults.to_dict()),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict) -> "EpisodeSpec":
+        known = {f.name for f in fields(cls)}
+        unknown = set(payload) - known
+        if unknown:
+            raise ValueError("unknown episode fields: {}".format(
+                ", ".join(sorted(unknown))))
+        payload = dict(payload)
+        payload["difficulty"] = _as_difficulty(payload["difficulty"])
+        if payload.get("disturbance") is not None:
+            payload["disturbance"] = wrench_from_dict(payload["disturbance"])
+        if payload.get("hold_position") is not None:
+            payload["hold_position"] = tuple(
+                float(p) for p in payload["hold_position"])
+        if payload.get("sensor_faults") is not None:
+            payload["sensor_faults"] = SensorFaults.from_dict(
+                payload["sensor_faults"])
+        return cls(**payload)
 
 
 def _as_difficulty(value: Union[Difficulty, str]) -> Difficulty:
@@ -161,6 +257,12 @@ class CampaignSpec:
     hold exactly one value for recovery campaigns (recovery episodes fly no
     waypoint scenario; the value only labels the aggregate cell), and seeds
     are pure repetitions of deterministic physics.
+
+    ``mass_scales`` expands a payload-mismatch axis (the plant flies each
+    scale while the controller keeps the nominal model); it nests after
+    ``max_admm_iterations`` and before the innermost disturbance axis.  The
+    ``sensor_*`` scalars apply one sensor fault profile campaign-wide
+    (``0``/``0``/``0`` means clean sensing).
     """
 
     name: str = "campaign"
@@ -182,6 +284,11 @@ class CampaignSpec:
     disturbance_torque_nm: float = 0.002
     recovery_hold_position: Tuple[float, float, float] = (0.0, 0.0, 0.75)
     recovery_duration: float = 3.0
+    mass_scales: Tuple[float, ...] = (1.0,)
+    sensor_noise_std: float = 0.0
+    sensor_latency_s: float = 0.0
+    sensor_dropout_rate: float = 0.0
+    sensor_fault_seed: int = 0
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "difficulties", tuple(
@@ -207,6 +314,8 @@ class CampaignSpec:
             float(t) for t in _tuple(self.disturbance_start_times)))
         object.__setattr__(self, "recovery_hold_position", tuple(
             float(p) for p in _tuple(self.recovery_hold_position)))
+        object.__setattr__(self, "mass_scales", tuple(
+            float(s) for s in _tuple(self.mass_scales)))
         self.validate()
 
     @property
@@ -240,6 +349,13 @@ class CampaignSpec:
         if self.episode_kind not in EPISODE_KINDS:
             raise ValueError("unknown episode_kind {!r}; options: {}".format(
                 self.episode_kind, ", ".join(EPISODE_KINDS)))
+        if not self.mass_scales:
+            raise ValueError("campaign axis 'mass_scales' is empty")
+        for scale in self.mass_scales:
+            if not math.isfinite(scale) or scale <= 0:
+                raise ValueError("mass_scales must be finite and positive")
+        # SensorFaults.__post_init__ validates the scalar fault profile.
+        self.sensor_faults()
         if not self.is_recovery:
             return
         for axis in ("disturbance_categories", "disturbance_kinds",
@@ -272,6 +388,14 @@ class CampaignSpec:
                 "labels the cell; recovery episodes fly no waypoint scenario)")
 
     # -- expansion --------------------------------------------------------------
+    def sensor_faults(self) -> Optional[SensorFaults]:
+        """The campaign-wide sensor fault profile (``None`` when clean)."""
+        faults = SensorFaults(noise_std=self.sensor_noise_std,
+                              latency_s=self.sensor_latency_s,
+                              dropout_rate=self.sensor_dropout_rate,
+                              seed=self.sensor_fault_seed)
+        return None if faults.is_null else faults
+
     def disturbances(self) -> List[Disturbance]:
         """The recovery campaign's disturbance suite, in expansion order
         (category > kind > direction > magnitude scale > start time).
@@ -296,7 +420,7 @@ class CampaignSpec:
         base = (len(self.difficulties) * len(self.seeds)
                 * len(self.implementations) * len(self.frequencies_mhz)
                 * len(self.variants) * len(self.control_rates_hz)
-                * len(self.max_admm_iterations))
+                * len(self.max_admm_iterations) * len(self.mass_scales))
         if not self.is_recovery:
             return base
         return base * len(self.disturbances())
@@ -305,6 +429,7 @@ class CampaignSpec:
         """The campaign's episodes, in the documented deterministic order."""
         disturbance_axis: List[Optional[Disturbance]] = (
             self.disturbances() if self.is_recovery else [None])
+        faults = self.sensor_faults()
         return [
             EpisodeSpec(
                 difficulty=difficulty, seed=seed,
@@ -315,13 +440,15 @@ class CampaignSpec:
                 waypoint_tolerance=self.waypoint_tolerance,
                 disturbance=disturbance,
                 hold_position=self.recovery_hold_position,
-                recovery_duration=self.recovery_duration)
+                recovery_duration=self.recovery_duration,
+                mass_scale=mass_scale, sensor_faults=faults)
             for difficulty, seed, implementation, frequency, variant, rate,
-                iterations, disturbance
+                iterations, mass_scale, disturbance
             in itertools.product(self.difficulties, self.seeds,
                                  self.implementations, self.frequencies_mhz,
                                  self.variants, self.control_rates_hz,
-                                 self.max_admm_iterations, disturbance_axis)
+                                 self.max_admm_iterations, self.mass_scales,
+                                 disturbance_axis)
         ]
 
     # -- (de)serialization -------------------------------------------------------
@@ -346,6 +473,11 @@ class CampaignSpec:
             "disturbance_torque_nm": self.disturbance_torque_nm,
             "recovery_hold_position": list(self.recovery_hold_position),
             "recovery_duration": self.recovery_duration,
+            "mass_scales": list(self.mass_scales),
+            "sensor_noise_std": self.sensor_noise_std,
+            "sensor_latency_s": self.sensor_latency_s,
+            "sensor_dropout_rate": self.sensor_dropout_rate,
+            "sensor_fault_seed": self.sensor_fault_seed,
         }
 
     @classmethod
@@ -417,6 +549,21 @@ class EpisodeFactory:
             self._socs[key] = soc
         return self._socs[key]
 
+    def plant_params_for(self, spec: EpisodeSpec):
+        """The parameters the *plant* flies (the controller keeps nominal).
+
+        ``mass_scale`` models a payload change the linearization does not
+        know about: the vehicle mass scales while the physical motors stay
+        fixed, so thrust-to-weight divides by the same factor and the
+        per-rotor thrust ceiling is unchanged.
+        """
+        nominal = self._variants[spec.variant]
+        if spec.mass_scale == 1.0:
+            return None
+        return dataclasses.replace(
+            nominal, mass=nominal.mass * spec.mass_scale,
+            thrust_to_weight=nominal.thrust_to_weight / spec.mass_scale)
+
     def build(self, spec: EpisodeSpec, episode_id: int) -> FleetEpisode:
         problem = self.problem_for(spec.variant, spec.control_rate_hz)
         config = spec.hil_config()
@@ -430,7 +577,9 @@ class EpisodeFactory:
             config, self._variants[spec.variant], mission,
             soc=self.soc_for(spec.implementation, spec.frequency_mhz,
                              spec.variant, spec.control_rate_hz),
-            state_dim=problem.state_dim, episode_id=episode_id)
+            state_dim=problem.state_dim, episode_id=episode_id,
+            plant_params=self.plant_params_for(spec),
+            faults=spec.sensor_faults)
         settings = SolverSettings(max_iterations=spec.max_admm_iterations,
                                   warm_start=True)
         return FleetEpisode(

@@ -1,0 +1,46 @@
+"""Property-based campaign fuzzing: hunt the recovery boundary at fleet scale.
+
+The Fig. 17 study walks a hand-picked magnitude ladder over fourteen
+disturbance events.  This package generalizes that ladder into a *fuzzer*:
+a catalog of scenario axes (:mod:`repro.fuzz.axes` — wrench steps and
+impulses, Dryden and discrete gusts, sensor noise/latency/dropout, payload
+mass mismatch), a deterministic boundary hunter
+(:mod:`repro.fuzz.campaign_fuzzer` — seeded nuisance draws, a coarse
+ladder, then bisection, all batched through
+:func:`repro.fleet.workers.run_campaign`), and shrunk JSON regression
+fixtures (:mod:`repro.fuzz.fixtures`) replayed exactly by
+``tests/fuzz/test_regressions.py``.
+"""
+
+from .axes import AXES, FuzzAxis, axis_names, get_axis
+from .campaign_fuzzer import (
+    BoundaryEstimate,
+    FuzzConfig,
+    FuzzReport,
+    run_fuzz_campaign,
+)
+from .fixtures import (
+    FIXTURE_VERSION,
+    fixture_filename,
+    fixture_payload,
+    load_fixtures,
+    replay_fixture,
+    save_fixture,
+)
+
+__all__ = [
+    "AXES",
+    "FuzzAxis",
+    "axis_names",
+    "get_axis",
+    "BoundaryEstimate",
+    "FuzzConfig",
+    "FuzzReport",
+    "run_fuzz_campaign",
+    "FIXTURE_VERSION",
+    "fixture_filename",
+    "fixture_payload",
+    "load_fixtures",
+    "replay_fixture",
+    "save_fixture",
+]

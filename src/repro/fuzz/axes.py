@@ -1,0 +1,249 @@
+"""The fuzzer's scenario axes: one scalar severity knob per failure mode.
+
+Each :class:`FuzzAxis` maps a *magnitude* (the fuzzed scalar, assumed
+monotone in severity) plus a small *nuisance* draw (direction, timing,
+noise realization — everything that varies within the axis without changing
+what is being stressed) to a complete
+:class:`~repro.fleet.campaign.EpisodeSpec`.  The boundary hunter bisects
+magnitude per nuisance draw; the shrinker walks each nuisance back to its
+canonical value while the episode keeps failing.
+
+Nuisances are drawn from small finite grids, not continuous ranges: a
+finite grid makes draws reproducible by index, makes shrink moves exact
+(snap to the grid's canonical first entry), and keeps fixture diffs
+readable.  RNGs are seeded from sha256 digests so draws are identical
+across processes and ``PYTHONHASHSEED`` values.
+
+Fault and mass axes need a disturbance to recover *from*; they share a
+small fixed baseline wrench (:data:`BASELINE_FORCE_N` along +x) that a
+clean controller shrugs off, so any failure is attributable to the fuzzed
+knob, not the baseline.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, Tuple
+
+import numpy as np
+
+from ..drone import (
+    Difficulty,
+    DiscreteGust,
+    Disturbance,
+    DisturbanceCategory,
+    DisturbanceType,
+    DrydenGust,
+)
+from ..fleet.campaign import EpisodeSpec
+from ..hil.faults import SensorFaults
+
+__all__ = ["FuzzAxis", "AXES", "axis_names", "get_axis", "BASELINE_FORCE_N"]
+
+
+# Baseline wrench for axes whose knob is not itself a wrench: small enough
+# that the clean closed loop recovers with wide margin, large enough that
+# the episode genuinely leaves the recovery radius.
+BASELINE_FORCE_N = 0.06
+
+# Nuisance grids.  Entry 0 of every grid is the canonical value the
+# shrinker snaps to.
+DIRECTIONS: Tuple[Tuple[float, float, float], ...] = (
+    (1.0, 0.0, 0.0),
+    (0.0, 1.0, 0.0),
+    (0.0, 0.0, 1.0),
+    (1.0, 1.0, 0.5),
+    (-1.0, 0.5, 0.25),
+)
+START_TIMES: Tuple[float, ...] = (0.5, 0.4, 0.6)
+CORRELATION_TIMES: Tuple[float, ...] = (0.25, 0.15, 0.4)
+RAMP_TIMES: Tuple[float, ...] = (0.3, 0.15, 0.5)
+NOISE_SEEDS: Tuple[int, ...] = (0, 1, 2, 3, 4, 5, 6, 7)
+
+
+def _baseline_disturbance(start_time: float = 0.5) -> Disturbance:
+    return Disturbance(category=DisturbanceCategory.FORCE,
+                       kind=DisturbanceType.STEP,
+                       direction=DIRECTIONS[0],
+                       magnitude=BASELINE_FORCE_N,
+                       start_time=start_time)
+
+
+def _base_spec(**overrides) -> EpisodeSpec:
+    """The shared recovery-episode scaffold every axis builds on.
+
+    ``implementation="ideal"`` keeps fuzz episodes fast and makes failures
+    controller failures rather than SoC-timing artifacts; the latency axis
+    injects its own delay through the fault layer.
+    """
+    kwargs = dict(difficulty=Difficulty.EASY, seed=0, implementation="ideal")
+    kwargs.update(overrides)
+    return EpisodeSpec(**kwargs)
+
+
+class FuzzAxis:
+    """One severity axis: magnitude range, nuisance draw, and spec builder.
+
+    ``lo`` must be comfortably inside the recovered region and ``hi``
+    comfortably inside the failing region for the default drone variant;
+    the hunter handles either end being wrong (it reports an unbounded
+    boundary instead of a bracket).  ``scale`` selects the ladder/bisection
+    space: ``"log"`` for magnitudes spanning decades, ``"linear"`` for
+    bounded fractions like dropout probability.
+    """
+
+    name: str = ""
+    lo: float = 0.0
+    hi: float = 0.0
+    scale: str = "log"
+    # nuisance key -> grid of values, entry 0 canonical.
+    grids: Dict[str, Tuple] = {}
+
+    def rng(self, fuzz_seed: int, draw: int) -> np.random.Generator:
+        digest = hashlib.sha256("fuzz:{}:{}:{}".format(
+            fuzz_seed, self.name, draw).encode()).digest()
+        return np.random.default_rng(int.from_bytes(digest[:8], "little"))
+
+    def draw_nuisance(self, fuzz_seed: int, draw: int) -> Dict[str, int]:
+        """Index into each nuisance grid, deterministically per (seed, draw).
+
+        Draw 0 is always all-canonical (every index 0), so the first draw
+        of every axis is the axis's most readable representative.
+        """
+        if draw == 0:
+            return {key: 0 for key in self.grids}
+        rng = self.rng(fuzz_seed, draw)
+        return {key: int(rng.integers(0, len(grid)))
+                for key, grid in sorted(self.grids.items())}
+
+    def shrink_moves(self, nuisance: Dict[str, int]):
+        """Candidate nuisance simplifications: one key at a time back to 0."""
+        for key in sorted(nuisance):
+            if nuisance[key] != 0:
+                simplified = dict(nuisance)
+                simplified[key] = 0
+                yield simplified
+
+    def build(self, magnitude: float, nuisance: Dict[str, int]) -> EpisodeSpec:
+        raise NotImplementedError
+
+
+class ForceStepAxis(FuzzAxis):
+    name = "force-step"
+    lo, hi, scale = 0.02, 2.0, "log"
+    grids = {"direction": DIRECTIONS, "start_time": START_TIMES}
+
+    def build(self, magnitude, nuisance):
+        return _base_spec(disturbance=Disturbance(
+            category=DisturbanceCategory.FORCE, kind=DisturbanceType.STEP,
+            direction=DIRECTIONS[nuisance["direction"]], magnitude=magnitude,
+            start_time=START_TIMES[nuisance["start_time"]]))
+
+
+class TorqueImpulseAxis(FuzzAxis):
+    name = "torque-impulse"
+    lo, hi, scale = 0.0005, 0.05, "log"
+    grids = {"direction": DIRECTIONS, "start_time": START_TIMES}
+
+    def build(self, magnitude, nuisance):
+        return _base_spec(disturbance=Disturbance(
+            category=DisturbanceCategory.TORQUE, kind=DisturbanceType.IMPULSE,
+            direction=DIRECTIONS[nuisance["direction"]], magnitude=magnitude,
+            start_time=START_TIMES[nuisance["start_time"]]))
+
+
+class DrydenGustAxis(FuzzAxis):
+    name = "dryden-gust"
+    lo, hi, scale = 0.02, 3.0, "log"
+    grids = {"gust_seed": NOISE_SEEDS, "correlation_time": CORRELATION_TIMES}
+
+    def build(self, magnitude, nuisance):
+        # Window [0.5, 2.0): leaves a full second of calm air for the
+        # recovery criterion's hold window to be observable.
+        return _base_spec(disturbance=DrydenGust(
+            magnitude=magnitude, seed=NOISE_SEEDS[nuisance["gust_seed"]],
+            correlation_time=CORRELATION_TIMES[nuisance["correlation_time"]],
+            start_time=0.5, duration=1.5))
+
+
+class DiscreteGustAxis(FuzzAxis):
+    name = "discrete-gust"
+    lo, hi, scale = 0.02, 3.0, "log"
+    grids = {"direction": DIRECTIONS, "ramp_time": RAMP_TIMES}
+
+    def build(self, magnitude, nuisance):
+        return _base_spec(disturbance=DiscreteGust(
+            magnitude=magnitude, direction=DIRECTIONS[nuisance["direction"]],
+            ramp_time=RAMP_TIMES[nuisance["ramp_time"]], start_time=0.5))
+
+
+class SensorNoiseAxis(FuzzAxis):
+    name = "sensor-noise"
+    lo, hi, scale = 0.001, 1.0, "log"
+    grids = {"fault_seed": NOISE_SEEDS, "start_time": START_TIMES}
+
+    def build(self, magnitude, nuisance):
+        return _base_spec(
+            disturbance=_baseline_disturbance(
+                START_TIMES[nuisance["start_time"]]),
+            sensor_faults=SensorFaults(
+                noise_std=magnitude, seed=NOISE_SEEDS[nuisance["fault_seed"]]))
+
+
+class SensorLatencyAxis(FuzzAxis):
+    name = "sensor-latency"
+    lo, hi, scale = 0.002, 0.5, "log"
+    grids = {"start_time": START_TIMES}
+
+    def build(self, magnitude, nuisance):
+        return _base_spec(
+            disturbance=_baseline_disturbance(
+                START_TIMES[nuisance["start_time"]]),
+            sensor_faults=SensorFaults(latency_s=magnitude))
+
+
+class SensorDropoutAxis(FuzzAxis):
+    name = "sensor-dropout"
+    lo, hi, scale = 0.05, 0.98, "linear"
+    grids = {"fault_seed": NOISE_SEEDS, "start_time": START_TIMES}
+
+    def build(self, magnitude, nuisance):
+        return _base_spec(
+            disturbance=_baseline_disturbance(
+                START_TIMES[nuisance["start_time"]]),
+            sensor_faults=SensorFaults(
+                dropout_rate=magnitude,
+                seed=NOISE_SEEDS[nuisance["fault_seed"]]))
+
+
+class MassMismatchAxis(FuzzAxis):
+    name = "mass-mismatch"
+    # The CrazyFlie's thrust-to-weight is 1.9: past a payload factor of
+    # ~1.9 the fixed motors cannot even hover, so the boundary must sit
+    # below that — a built-in sanity anchor for the hunter.
+    lo, hi, scale = 1.05, 3.0, "log"
+    grids = {"start_time": START_TIMES}
+
+    def build(self, magnitude, nuisance):
+        return _base_spec(
+            disturbance=_baseline_disturbance(
+                START_TIMES[nuisance["start_time"]]),
+            mass_scale=magnitude)
+
+
+AXES: Dict[str, FuzzAxis] = {axis.name: axis for axis in (
+    ForceStepAxis(), TorqueImpulseAxis(), DrydenGustAxis(), DiscreteGustAxis(),
+    SensorNoiseAxis(), SensorLatencyAxis(), SensorDropoutAxis(),
+    MassMismatchAxis(),
+)}
+
+
+def axis_names() -> Tuple[str, ...]:
+    return tuple(AXES)
+
+
+def get_axis(name: str) -> FuzzAxis:
+    if name not in AXES:
+        raise KeyError("unknown fuzz axis {!r}; options: {}".format(
+            name, ", ".join(AXES)))
+    return AXES[name]

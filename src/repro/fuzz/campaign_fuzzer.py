@@ -1,0 +1,311 @@
+"""Deterministic boundary hunting over the fuzz axes.
+
+The hunter generalizes the Fig. 17 magnitude ladder: for each (axis,
+nuisance draw) pair it flies a coarse ladder across the axis's magnitude
+range, brackets the recovered/failed transition, then bisects the bracket.
+Every round's episodes — across *all* axes and draws — are batched into a
+single :func:`~repro.fleet.workers.run_campaign` call, so the hunt runs at
+fleet throughput rather than one episode at a time.
+
+Failures are then *shrunk* toward a minimal reproducer: the failing
+magnitude is snapped to few significant digits and each nuisance walked
+back to its canonical value, keeping a change only if the episode still
+fails on the scalar (``batching=False``) execution path — the same path the
+regression replay uses, so a minted fixture reproduces by construction.
+
+Everything is a pure function of ``FuzzConfig``: nuisance draws seed from
+sha256 digests, ladders and bisection are closed-form arithmetic, and
+reports carry no timestamps — the same config produces byte-identical
+reports and fixtures across processes and ``PYTHONHASHSEED`` values (a
+subprocess test enforces this).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..drone.disturbance import RecoveryResult
+from ..fleet.campaign import EpisodeSpec
+from ..fleet.workers import run_campaign
+from .axes import FuzzAxis, axis_names, get_axis
+from .fixtures import fixture_filename, fixture_payload, save_fixture
+
+__all__ = ["FuzzConfig", "BoundaryEstimate", "FuzzReport",
+           "run_fuzz_campaign"]
+
+# evaluate(specs) -> results, one per spec, in order.  Injectable so the
+# bisection logic is testable against synthetic oracles without flying
+# thousands of episodes.
+Evaluator = Callable[[Sequence[EpisodeSpec]], List[RecoveryResult]]
+
+
+@dataclass(frozen=True)
+class FuzzConfig:
+    """One fuzz campaign, fully determined.
+
+    ``rungs`` is the coarse ladder resolution per (axis, draw) hunt and
+    ``bisect_rounds`` the number of bisection refinements after
+    bracketing; episode count is roughly
+    ``len(axes) * draws_per_axis * (rungs + bisect_rounds)`` plus a few
+    scalar confirmation/shrink episodes per failure.
+    """
+
+    seed: int = 0
+    axes: Tuple[str, ...] = ()
+    draws_per_axis: int = 2
+    rungs: int = 5
+    bisect_rounds: int = 4
+    workers: int = 1
+
+    def __post_init__(self) -> None:
+        names = tuple(self.axes) if self.axes else axis_names()
+        for name in names:
+            get_axis(name)          # raises on unknown axis
+        object.__setattr__(self, "axes", names)
+        if self.draws_per_axis < 1:
+            raise ValueError("draws_per_axis must be >= 1")
+        if self.rungs < 2:
+            raise ValueError("rungs must be >= 2 (need both ladder ends)")
+        if self.bisect_rounds < 0:
+            raise ValueError("bisect_rounds must be >= 0")
+
+
+@dataclass
+class BoundaryEstimate:
+    """The hunted recovery boundary for one (axis, nuisance draw) pair.
+
+    ``lo_pass`` is the largest magnitude observed to recover below the
+    first failure and ``hi_fail`` the smallest observed failure; the true
+    boundary lies in ``(lo_pass, hi_fail]`` under the monotone-severity
+    assumption.  ``lo_pass is None`` means even the bottom of the range
+    failed; ``hi_fail is None`` means the whole range recovered (no
+    fixture minted).  ``evaluations`` records every (magnitude, recovered)
+    probe in evaluation order.
+    """
+
+    axis: str
+    draw: int
+    nuisance: Dict[str, int]
+    lo_pass: Optional[float] = None
+    hi_fail: Optional[float] = None
+    evaluations: List[Tuple[float, bool]] = field(default_factory=list)
+    fixture: Optional[str] = None
+
+    def record(self, magnitude: float, recovered: bool) -> None:
+        self.evaluations.append((magnitude, recovered))
+        if recovered:
+            if ((self.hi_fail is None or magnitude < self.hi_fail)
+                    and (self.lo_pass is None or magnitude > self.lo_pass)):
+                self.lo_pass = magnitude
+        elif self.hi_fail is None or magnitude < self.hi_fail:
+            self.hi_fail = magnitude
+            if self.lo_pass is not None and self.lo_pass >= magnitude:
+                # Non-monotone observation: discard the stale pass above
+                # the new failure so the bracket stays ordered.
+                passes = [m for m, ok in self.evaluations
+                          if ok and m < magnitude]
+                self.lo_pass = max(passes) if passes else None
+
+    def as_dict(self) -> Dict:
+        return {
+            "axis": self.axis,
+            "draw": self.draw,
+            "nuisance": dict(sorted(self.nuisance.items())),
+            "lo_pass": self.lo_pass,
+            "hi_fail": self.hi_fail,
+            "evaluations": [[m, ok] for m, ok in self.evaluations],
+            "fixture": self.fixture,
+        }
+
+
+@dataclass
+class FuzzReport:
+    """Everything one fuzz campaign produced, JSON-serializable and
+    deterministic (no timestamps, no environment fields)."""
+
+    config: FuzzConfig
+    boundaries: List[BoundaryEstimate]
+    episodes_flown: int
+    fixtures: List[str]
+
+    def as_dict(self) -> Dict:
+        return {
+            "fuzz_version": 1,
+            "seed": self.config.seed,
+            "axes": list(self.config.axes),
+            "draws_per_axis": self.config.draws_per_axis,
+            "rungs": self.config.rungs,
+            "bisect_rounds": self.config.bisect_rounds,
+            "episodes_flown": self.episodes_flown,
+            "boundaries": [b.as_dict() for b in self.boundaries],
+            "fixtures": list(self.fixtures),
+        }
+
+
+def _ladder(axis: FuzzAxis, rungs: int) -> List[float]:
+    if axis.scale == "log":
+        ratio = axis.hi / axis.lo
+        return [axis.lo * ratio ** (i / (rungs - 1)) for i in range(rungs)]
+    return [axis.lo + (axis.hi - axis.lo) * i / (rungs - 1)
+            for i in range(rungs)]
+
+
+def _midpoint(axis: FuzzAxis, lo: float, hi: float) -> float:
+    if axis.scale == "log":
+        return math.sqrt(lo * hi)
+    return 0.5 * (lo + hi)
+
+
+def _round_sig(value: float, digits: int) -> float:
+    if value == 0:
+        return 0.0
+    exponent = math.floor(math.log10(abs(value)))
+    return round(value, digits - 1 - exponent)
+
+
+class _Counter:
+    __slots__ = ("episodes",)
+
+    def __init__(self) -> None:
+        self.episodes = 0
+
+
+def _batch_evaluate(evaluate: Evaluator, counter: _Counter,
+                    requests: List[Tuple[BoundaryEstimate, float]]) -> None:
+    """Fly one round of (hunt, magnitude) probes as a single fleet batch."""
+    if not requests:
+        return
+    specs = [get_axis(hunt.axis).build(magnitude, hunt.nuisance)
+             for hunt, magnitude in requests]
+    results = evaluate(specs)
+    counter.episodes += len(specs)
+    for (hunt, magnitude), result in zip(requests, results):
+        hunt.record(magnitude, bool(result.recovered))
+
+
+def _shrink(axis: FuzzAxis, hunt: BoundaryEstimate,
+            evaluate_scalar: Evaluator, counter: _Counter
+            ) -> Optional[Tuple[EpisodeSpec, RecoveryResult]]:
+    """Minimize one failure, re-confirming each move on the scalar path.
+
+    Returns the final failing (spec, result), or ``None`` if the candidate
+    does not fail when re-flown scalar (possible only when the batched and
+    scalar paths disagree exactly at the boundary — then there is nothing
+    deterministic to pin).
+    """
+    def fails(spec: EpisodeSpec) -> Optional[RecoveryResult]:
+        result = evaluate_scalar([spec])[0]
+        counter.episodes += 1
+        return result if not result.recovered else None
+
+    magnitude = hunt.hi_fail
+    nuisance = dict(hunt.nuisance)
+    result = fails(axis.build(magnitude, nuisance))
+    if result is None:
+        return None
+
+    # Magnitude precision snap: fewer significant digits is simpler.  Try
+    # coarse first; each candidate must still fail to be kept.
+    for digits in (2, 3):
+        snapped = _round_sig(magnitude, digits)
+        if snapped == magnitude or not (axis.lo <= snapped <= axis.hi):
+            continue
+        outcome = fails(axis.build(snapped, nuisance))
+        if outcome is not None:
+            magnitude, result = snapped, outcome
+            break
+
+    # Nuisance canonicalization, one key at a time.  Restart the move list
+    # after every accepted move: candidates are generated from the *current*
+    # nuisance, so an accepted simplification is never reverted by a stale
+    # sibling move.  Terminates because each accepted move zeroes one more
+    # key and moves only propose non-zero -> zero changes.
+    improved = True
+    while improved:
+        improved = False
+        for simplified in axis.shrink_moves(nuisance):
+            outcome = fails(axis.build(magnitude, simplified))
+            if outcome is not None:
+                nuisance, result = simplified, outcome
+                improved = True
+                break
+
+    return axis.build(magnitude, nuisance), result
+
+
+def _default_evaluators(config: FuzzConfig) -> Tuple[Evaluator, Evaluator]:
+    def batched(specs: Sequence[EpisodeSpec]) -> List[RecoveryResult]:
+        return run_campaign(list(specs), workers=config.workers,
+                            batching=True).results
+
+    def scalar(specs: Sequence[EpisodeSpec]) -> List[RecoveryResult]:
+        return run_campaign(list(specs), batching=False).results
+
+    return batched, scalar
+
+
+def run_fuzz_campaign(config: FuzzConfig,
+                      fixture_dir: Optional[str] = None,
+                      evaluate: Optional[Evaluator] = None,
+                      evaluate_scalar: Optional[Evaluator] = None
+                      ) -> FuzzReport:
+    """Hunt the recovery boundary on every configured axis.
+
+    ``evaluate`` (batched hunt) and ``evaluate_scalar`` (failure
+    confirmation, shrinking, and fixture outcomes) default to the real
+    fleet engine; tests inject synthetic oracles to exercise the search
+    logic in isolation.  When ``fixture_dir`` is set, each shrunk failure
+    is written there as a JSON regression fixture.
+    """
+    if evaluate is None or evaluate_scalar is None:
+        default_batched, default_scalar = _default_evaluators(config)
+        evaluate = evaluate or default_batched
+        evaluate_scalar = evaluate_scalar or default_scalar
+
+    counter = _Counter()
+    hunts: List[BoundaryEstimate] = [
+        BoundaryEstimate(axis=name, draw=draw,
+                         nuisance=get_axis(name).draw_nuisance(config.seed,
+                                                               draw))
+        for name in config.axes
+        for draw in range(config.draws_per_axis)
+    ]
+
+    # Phase 1: coarse ladder, all hunts in one fleet batch.
+    requests = [(hunt, magnitude)
+                for hunt in hunts
+                for magnitude in _ladder(get_axis(hunt.axis), config.rungs)]
+    _batch_evaluate(evaluate, counter, requests)
+
+    # Phase 2: bisection rounds; each round is again one fleet batch across
+    # every hunt that still has a bracket to tighten.
+    for _ in range(config.bisect_rounds):
+        requests = []
+        for hunt in hunts:
+            if hunt.lo_pass is None or hunt.hi_fail is None:
+                continue        # unbounded on one side: nothing to bisect
+            requests.append((hunt, _midpoint(get_axis(hunt.axis),
+                                             hunt.lo_pass, hunt.hi_fail)))
+        _batch_evaluate(evaluate, counter, requests)
+
+    # Phase 3: shrink each failure to a minimal reproducer and mint
+    # fixtures from the scalar-path outcome.
+    fixtures: List[str] = []
+    for hunt in hunts:
+        if hunt.hi_fail is None:
+            continue
+        shrunk = _shrink(get_axis(hunt.axis), hunt, evaluate_scalar, counter)
+        if shrunk is None:
+            continue
+        spec, result = shrunk
+        payload = fixture_payload(hunt.axis, config.seed, spec, result)
+        hunt.fixture = fixture_filename(payload)
+        if hunt.fixture not in fixtures:
+            fixtures.append(hunt.fixture)
+        if fixture_dir is not None:
+            save_fixture(fixture_dir, payload)
+
+    return FuzzReport(config=config, boundaries=hunts,
+                      episodes_flown=counter.episodes, fixtures=fixtures)

@@ -1,0 +1,121 @@
+"""Shrunk failure fixtures: serialized episodes the controller loses.
+
+A fixture is one JSON file holding a fully-determined
+:class:`~repro.fleet.campaign.EpisodeSpec` that failed the recovery
+criterion, plus the outcome observed on the scalar (``batching=False``)
+execution path.  ``tests/fuzz/test_regressions.py`` replays every checked-in
+fixture through the same scalar path and fails on divergence — each fixture
+is a pinned regression test for one point past the recovery boundary.
+
+The replay bar matches the fleet equivalence tests: discrete outcome fields
+must match exactly; float metrics to ``isclose(rel=1e-6, abs=1e-9)``
+(bit-exactness on one machine is separately enforced by the fuzzer's
+subprocess determinism test — the tolerance here only absorbs BLAS/numpy
+build differences between the machine that minted a fixture and the one
+replaying it).
+
+Filenames are content-addressed (``{axis}-{sha256(spec)[:8]}.json``), so a
+re-run of the fuzzer that converges to the same shrunk spec writes
+byte-identical files instead of duplicates.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+import os
+from typing import Dict, List, Optional, Tuple
+
+from ..drone.disturbance import RecoveryResult
+from ..fleet.campaign import EpisodeSpec
+from ..fleet.workers import run_campaign
+
+__all__ = ["FIXTURE_VERSION", "fixture_payload", "fixture_filename",
+           "save_fixture", "load_fixtures", "replay_fixture",
+           "REPLAY_REL_TOL", "REPLAY_ABS_TOL"]
+
+FIXTURE_VERSION = 1
+REPLAY_REL_TOL = 1e-6
+REPLAY_ABS_TOL = 1e-9
+
+
+def _canonical_json(payload: Dict) -> str:
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def fixture_payload(axis: str, fuzz_seed: int, spec: EpisodeSpec,
+                    result: RecoveryResult) -> Dict:
+    """The JSON document for one shrunk failure (no timestamps: the same
+    failing spec always serializes to the same bytes)."""
+    return {
+        "fixture_version": FIXTURE_VERSION,
+        "axis": axis,
+        "fuzz_seed": fuzz_seed,
+        "spec": spec.to_dict(),
+        "outcome": {
+            "recovered": bool(result.recovered),
+            "time_to_recovery": result.time_to_recovery,
+            "max_deviation": result.max_deviation,
+        },
+    }
+
+
+def fixture_filename(payload: Dict) -> str:
+    digest = hashlib.sha256(
+        _canonical_json(payload["spec"]).encode()).hexdigest()
+    return "{}-{}.json".format(payload["axis"], digest[:8])
+
+
+def save_fixture(directory: str, payload: Dict) -> str:
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, fixture_filename(payload))
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def load_fixtures(directory: str) -> List[Tuple[str, Dict]]:
+    """Every ``*.json`` fixture under ``directory``, sorted by filename."""
+    if not os.path.isdir(directory):
+        return []
+    loaded = []
+    for name in sorted(os.listdir(directory)):
+        if not name.endswith(".json"):
+            continue
+        with open(os.path.join(directory, name)) as handle:
+            payload = json.load(handle)
+        if payload.get("fixture_version") != FIXTURE_VERSION:
+            raise ValueError("fixture {} has unsupported version {!r}".format(
+                name, payload.get("fixture_version")))
+        loaded.append((name, payload))
+    return loaded
+
+
+def _close(a: Optional[float], b: Optional[float]) -> bool:
+    if a is None or b is None:
+        return a is None and b is None
+    return math.isclose(a, b, rel_tol=REPLAY_REL_TOL, abs_tol=REPLAY_ABS_TOL)
+
+
+def replay_fixture(payload: Dict) -> Tuple[RecoveryResult, List[str]]:
+    """Re-run a fixture's episode on the scalar path; list any divergences.
+
+    Returns the fresh result and a list of human-readable divergence
+    messages (empty when the fixture reproduces).
+    """
+    spec = EpisodeSpec.from_dict(payload["spec"])
+    result = run_campaign([spec], batching=False).results[0]
+    expected = payload["outcome"]
+    divergences: List[str] = []
+    if bool(result.recovered) != expected["recovered"]:
+        divergences.append("recovered: expected {} got {}".format(
+            expected["recovered"], result.recovered))
+    if not _close(result.time_to_recovery, expected["time_to_recovery"]):
+        divergences.append("time_to_recovery: expected {} got {}".format(
+            expected["time_to_recovery"], result.time_to_recovery))
+    if not _close(result.max_deviation, expected["max_deviation"]):
+        divergences.append("max_deviation: expected {} got {}".format(
+            expected["max_deviation"], result.max_deviation))
+    return result, divergences

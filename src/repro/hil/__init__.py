@@ -3,6 +3,7 @@
 from .uart import UARTLink
 from .dronet import DroNetWorkload
 from .episode import EpisodeResult, EpisodeRunner, RecoveryEpisode, SolveRequest
+from .faults import FaultyObserver, SensorFaults
 from .soc import SOFTWARE_IMPLEMENTATIONS, SoCModel
 from .rtos import ConcurrentTaskReport, RTOSModel
 from .metrics import (
@@ -23,6 +24,8 @@ __all__ = [
     "EpisodeRunner",
     "RecoveryEpisode",
     "SolveRequest",
+    "FaultyObserver",
+    "SensorFaults",
     "SOFTWARE_IMPLEMENTATIONS",
     "SoCModel",
     "ConcurrentTaskReport",

@@ -58,6 +58,7 @@ from ..drone import (
     hover_input,
     hover_state,
 )
+from .faults import FaultyObserver, SensorFaults
 from .metrics import ScenarioResult
 from .soc import SoCModel
 
@@ -86,9 +87,16 @@ class RecoveryEpisode:
     The drone holds ``hold_position``, the ``disturbance`` wrench is
     injected on the physics-tick grid, and the trajectory is analyzed with
     the paper's 5 cm / 250 ms recovery criterion at episode exhaustion.
+
+    ``disturbance`` accepts any wrench event implementing the protocol in
+    :mod:`repro.drone.gusts` — a deterministic :class:`Disturbance`, a
+    stochastic :class:`~repro.drone.gusts.DrydenGust`, or a 1-cosine
+    :class:`~repro.drone.gusts.DiscreteGust`; the runner asks the event for
+    its per-episode :meth:`sampler` once and drives the sampled wrench on
+    the physics grid.
     """
 
-    disturbance: Disturbance
+    disturbance: Disturbance  # or any gusts.py wrench event (duck-typed)
     hold_position: Tuple[float, float, float] = (0.0, 0.0, 0.75)
     duration: float = 3.0
 
@@ -125,18 +133,25 @@ class EpisodeRunner:
     def __init__(self, config, params: DroneParams,
                  scenario: Union[Scenario, RecoveryEpisode],
                  soc: Optional[SoCModel] = None, state_dim: int = 12,
-                 episode_id: int = 0) -> None:
+                 episode_id: int = 0,
+                 plant_params: Optional[DroneParams] = None,
+                 faults: Optional[SensorFaults] = None) -> None:
         self.config = config
         self.params = params
         self.scenario = scenario
         self.soc = soc
         self.state_dim = state_dim
         self.episode_id = episode_id
+        self.faults = faults
         self.is_recovery = isinstance(scenario, RecoveryEpisode)
-        self.plant = Quadrotor(params, dt=config.physics_dt)
+        # Model mismatch: the *plant* may fly perturbed parameters (payload
+        # mass, detuned thrust) while the controller — hover feedforward and
+        # the MPC linearization upstream — keeps believing ``params``.
+        self.plant_params = plant_params if plant_params is not None else params
+        self.plant = Quadrotor(self.plant_params, dt=config.physics_dt)
         # Hoisted-constant power model: evaluated every physics tick, and
         # bit-identical to calling total_actuation_power per tick.
-        self._actuation_power = actuation_power_fn(params)
+        self._actuation_power = actuation_power_fn(self.plant_params)
         self._result: Optional[EpisodeResult] = None
         if self.is_recovery:
             # Caller-owned wrench buffers: Disturbance.wrench_into writes
@@ -180,6 +195,7 @@ class EpisodeRunner:
         plant = self.plant
         recovery = self.is_recovery
         disturbance: Optional[Disturbance] = None
+        wrench = None
         if recovery:
             disturbance = scenario.disturbance
             hold = np.asarray(scenario.hold_position, dtype=np.float64)
@@ -189,6 +205,10 @@ class EpisodeRunner:
             plant.bind_disturbance_buffers(self._force, self._torque)
             goal = self._goal_state(hold)
             duration = scenario.duration
+            # One sampler per episode: deterministic events return
+            # themselves; stochastic gusts tabulate their seeded realization
+            # here, so the per-tick wrench path stays allocation-free.
+            wrench = disturbance.sampler(config.physics_dt, duration)
         else:
             plant.reset(hover_state(scenario.start_position))
             goal = None
@@ -212,6 +232,13 @@ class EpisodeRunner:
 
         control_period = (config.physics_dt if config.is_ideal
                           else config.control_period)
+        # The fault pipeline sits between the plant and the solver: only the
+        # sampled state handed to SolveRequest is corrupted — the recorded
+        # trajectory, crash detector, and recovery analysis all see truth.
+        observer: Optional[FaultyObserver] = None
+        if self.faults is not None and not self.faults.is_null:
+            observer = FaultyObserver(self.faults, control_period,
+                                      self.state_dim)
         steps = int(round(duration / config.physics_dt))
         time = 0.0
         for step in range(steps):
@@ -225,8 +252,11 @@ class EpisodeRunner:
                 if not recovery:
                     waypoint = scenario.active_waypoint(time)
                     goal = self._goal_state(waypoint.as_array())
+                sampled = plant.observe()
+                if observer is not None:
+                    sampled = observer.observe(sampled)
                 control, iterations = yield SolveRequest(
-                    self.episode_id, time, plant.observe(), goal)
+                    self.episode_id, time, sampled, goal)
                 latency = self._solve_latency(iterations)
                 compute_only = (0.0 if config.is_ideal
                                 else self.soc.solve_latency(iterations))
@@ -249,8 +279,8 @@ class EpisodeRunner:
 
             if recovery:
                 # Refresh the plant-bound wrench buffers in place.
-                disturbance.wrench_into(time, config.physics_dt,
-                                        self._force, self._torque)
+                wrench.wrench_into(time, config.physics_dt,
+                                   self._force, self._torque)
             plant.step(command)
             if not recovery:
                 # RecoveryResult carries no power metrics, so recovery

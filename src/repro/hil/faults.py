@@ -1,0 +1,131 @@
+"""Sensor/estimator fault injection between the plant and the solver.
+
+The HIL loop historically handed the solver the *true* plant state
+(``plant.observe()``).  Real state estimators are noisy, late, and lossy;
+this module models all three as a pipeline applied to each sampled state,
+per control tick, inside :class:`~repro.hil.episode.EpisodeRunner`::
+
+    true state -> fixed latency (delay by k control samples)
+               -> additive Gaussian noise
+               -> dropout-with-hold (measurement lost; solver re-sees the
+                  previous delivered estimate)
+
+Faults only corrupt what the *solver* sees — the recorded trajectory, the
+crash detector, and the recovery analysis all run on the true plant state,
+so a fault-induced failure is a genuine closed-loop failure, not a
+bookkeeping artifact.
+
+Determinism: the noise/dropout RNG seeds from a sha256 digest of the spec's
+``seed`` field only (never ``PYTHONHASHSEED``, never the episode id), so an
+episode spec fully determines its fault realization on every driver —
+scalar loop, fleet scheduler, worker shard, or fuzzer replay.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+__all__ = ["SensorFaults", "FaultyObserver"]
+
+
+@dataclass(frozen=True)
+class SensorFaults:
+    """Declarative sensor/estimator fault profile for one episode.
+
+    ``noise_std`` is the per-component standard deviation of additive
+    Gaussian noise on the full 12-dim state estimate (meters, radians,
+    m/s, rad/s — one knob, the fuzzer's noise axis).  ``latency_s`` is a
+    fixed estimator latency, rounded to whole control periods.
+    ``dropout_rate`` is the per-sample probability that the measurement is
+    lost, in which case the previous *delivered* estimate is held.
+    """
+
+    noise_std: float = 0.0
+    latency_s: float = 0.0
+    dropout_rate: float = 0.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        for name in ("noise_std", "latency_s", "dropout_rate"):
+            value = float(getattr(self, name))
+            if not math.isfinite(value) or value < 0:
+                raise ValueError("{} must be finite and non-negative, got "
+                                 "{!r}".format(name, value))
+        if self.dropout_rate >= 1.0:
+            raise ValueError("dropout_rate must be < 1 (a dropout-only "
+                             "sensor never delivers a measurement)")
+        object.__setattr__(self, "seed", int(self.seed))
+
+    @property
+    def is_null(self) -> bool:
+        """True when the profile is a no-op (clean sensing)."""
+        return (self.noise_std == 0.0 and self.latency_s == 0.0
+                and self.dropout_rate == 0.0)
+
+    def rng(self) -> np.random.Generator:
+        digest = hashlib.sha256(
+            "sensor-faults:{}".format(self.seed).encode()).digest()
+        return np.random.default_rng(int.from_bytes(digest[:8], "little"))
+
+    def describe(self) -> str:
+        if self.is_null:
+            return "clean"
+        return "noise={:.3g} latency={:.3g}s dropout={:.3g} seed={}".format(
+            self.noise_std, self.latency_s, self.dropout_rate, self.seed)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "noise_std": self.noise_std,
+            "latency_s": self.latency_s,
+            "dropout_rate": self.dropout_rate,
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "SensorFaults":
+        return cls(**payload)
+
+
+class FaultyObserver:
+    """Stateful per-episode fault pipeline over sampled plant states.
+
+    Built once per episode; :meth:`observe` is called once per control
+    sample with the true state and returns what the solver should see.
+    """
+
+    def __init__(self, faults: SensorFaults, control_period: float,
+                 state_dim: int = 12) -> None:
+        if control_period <= 0:
+            raise ValueError("control_period must be positive")
+        self.faults = faults
+        self.state_dim = state_dim
+        self._rng = faults.rng()
+        self.delay_samples = int(round(faults.latency_s / control_period))
+        # Ring of raw samples awaiting delivery; maxlen keeps it bounded.
+        self._pending: deque = deque(maxlen=self.delay_samples + 1)
+        self._delivered: Optional[np.ndarray] = None
+
+    def observe(self, true_state: np.ndarray) -> np.ndarray:
+        """One control-tick estimate: delay, then noise, then dropout-hold."""
+        faults = self.faults
+        self._pending.append(true_state)
+        # Before the pipeline fills, the oldest available sample stands in
+        # (the estimator has not produced a fresher one yet).
+        delayed = self._pending[0]
+        dropped = (faults.dropout_rate > 0.0
+                   and self._delivered is not None
+                   and float(self._rng.random()) < faults.dropout_rate)
+        if dropped:
+            return self._delivered
+        estimate = delayed
+        if faults.noise_std > 0.0:
+            estimate = delayed + faults.noise_std * self._rng.standard_normal(
+                self.state_dim)
+        self._delivered = estimate
+        return estimate

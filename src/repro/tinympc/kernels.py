@@ -163,10 +163,19 @@ def forward_pass(ws: TinyMPCWorkspace, cache: LQRCache) -> None:
 def _verify_fused_kr(ws: TinyMPCWorkspace, Kinf: np.ndarray) -> bool:
     """Is the one-shot ``r @ Kinf`` precompute bit-identical on this BLAS?
 
-    BLAS accumulation order is a function of operand shapes and layouts,
-    never of operand values, so agreement on one deterministic probe with
-    exactly the workspace's shapes/layouts proves agreement for every input.
-    Runs once per (workspace, cache) pair, at warmup.
+    Only meaningful for the *batched* layout, where the fusion is sound by
+    construction: the step-major ``(N-1, B, m) @ (m, n)`` matmul runs the
+    same 2-D GEMM per step slice — identical operand strides, identical
+    values — as the per-step ``r[..., i, :] @ Kinf`` products it replaces,
+    so this probe is a belt-and-braces guard for exotic BLAS dispatch.
+
+    The scalar layout must **not** take the fused path at all: there the
+    per-step product is a GEMV while the fused form is a GEMM, and on
+    FMA-using BLAS builds the two can differ by an ulp *value-dependently*
+    (fused multiply-add changes rounding without changing accumulation
+    order), so no finite probe can prove agreement.  Found by the
+    randomized-shape sweep in ``tests/tinympc/test_kernel_bitequality_props
+    .py``.  Runs once per (workspace, cache) pair, at warmup.
     """
     probe = np.empty_like(ws.r)
     flat = probe.reshape(-1)
@@ -187,16 +196,19 @@ def backward_pass(ws: TinyMPCWorkspace, cache: LQRCache) -> None:
     ``backward_pass_1``: d[i] = Quu_inv (B' p[i+1] + r[i])
     ``backward_pass_2``: p[i] = q[i] + AmBKt p[i+1] - Kinf' r[i]
 
-    ``r`` never changes inside the recursion, so the ``Kinf' r[i]`` terms
-    of every knot point are hoisted into one step-major matmul when
-    :func:`_verify_fused_kr` has proven the fusion bit-identical on this
-    host (the per-step fallback is always exact by construction).
+    ``r`` never changes inside the recursion, so on the batched layout the
+    ``Kinf' r[i]`` terms of every knot point are hoisted into one
+    step-major matmul (exact per slice — see :func:`_verify_fused_kr`,
+    which double-checks at warmup).  The scalar layout always takes the
+    per-step fallback: its naive reference is a GEMV, and GEMV-vs-GEMM
+    agreement is value-dependent under FMA, so the hoist cannot honor the
+    bit-for-bit contract there.
     """
     s = ws.scratch
     B = ws.problem.B
     Quu_invT, AmBKtT, Kinf = cache.Quu_invT, cache.AmBKtT, cache.Kinf
     if s.kr_cache is not cache:
-        s.kr_ok = _verify_fused_kr(ws, Kinf)
+        s.kr_ok = (not s.is_scalar) and _verify_fused_kr(ws, Kinf)
         s.kr_cache = cache
     fused = s.kr_ok
     t_m, t_n, t_n2 = s.vec_m, s.vec_n, s.vec_n2

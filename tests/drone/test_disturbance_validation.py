@@ -1,0 +1,94 @@
+"""Construction-time validation of wrench events.
+
+A NaN magnitude or start time silently produces a never-active (or
+always-active) disturbance window — the recovery-boundary fuzzer would
+then bisect noise instead of physics — so every wrench event rejects
+non-finite and degenerate parameters at construction.  These are the
+regression tests for that contract.
+"""
+
+import math
+
+import pytest
+
+from repro.drone import (
+    Disturbance,
+    DisturbanceCategory,
+    DisturbanceType,
+    DiscreteGust,
+    DrydenGust,
+)
+
+NAN = float("nan")
+INF = float("inf")
+
+
+def _step(**overrides):
+    kwargs = dict(category=DisturbanceCategory.FORCE,
+                  kind=DisturbanceType.STEP,
+                  direction=(1.0, 0.0, 0.0), magnitude=0.1, start_time=0.5)
+    kwargs.update(overrides)
+    return Disturbance(**kwargs)
+
+
+class TestDisturbanceValidation:
+    @pytest.mark.parametrize("magnitude", [NAN, INF, -INF])
+    def test_non_finite_magnitude_rejected(self, magnitude):
+        with pytest.raises(ValueError, match="magnitude"):
+            _step(magnitude=magnitude)
+
+    @pytest.mark.parametrize("start_time", [NAN, INF, -INF])
+    def test_non_finite_start_time_rejected(self, start_time):
+        with pytest.raises(ValueError, match="start_time"):
+            _step(start_time=start_time)
+
+    @pytest.mark.parametrize("duration", [NAN, INF, 0.0, -0.1])
+    def test_degenerate_duration_rejected(self, duration):
+        with pytest.raises(ValueError, match="duration"):
+            _step(duration=duration)
+
+    @pytest.mark.parametrize("direction", [(NAN, 0.0, 0.0),
+                                           (0.0, INF, 0.0),
+                                           (0.0, 0.0, 0.0)])
+    def test_bad_direction_rejected(self, direction):
+        with pytest.raises(ValueError, match="direction"):
+            _step(direction=direction)
+
+    def test_valid_event_still_constructs(self):
+        event = _step()
+        assert math.isfinite(event.end_time)
+        assert event.end_time == pytest.approx(0.6)
+
+
+class TestGustValidation:
+    """The continuous gust models enforce the same finite-parameter rule."""
+
+    @pytest.mark.parametrize("magnitude", [NAN, INF, -0.1])
+    def test_dryden_magnitude(self, magnitude):
+        with pytest.raises(ValueError, match="magnitude"):
+            DrydenGust(magnitude=magnitude)
+
+    @pytest.mark.parametrize("correlation_time", [NAN, 0.0, -1.0])
+    def test_dryden_correlation_time(self, correlation_time):
+        with pytest.raises(ValueError, match="correlation_time"):
+            DrydenGust(magnitude=0.05, correlation_time=correlation_time)
+
+    @pytest.mark.parametrize("start_time", [NAN, INF, -0.5])
+    def test_dryden_start_time(self, start_time):
+        with pytest.raises(ValueError, match="start_time"):
+            DrydenGust(magnitude=0.05, start_time=start_time)
+
+    @pytest.mark.parametrize("magnitude", [NAN, INF, -0.1])
+    def test_discrete_gust_magnitude(self, magnitude):
+        with pytest.raises(ValueError, match="magnitude"):
+            DiscreteGust(magnitude=magnitude)
+
+    @pytest.mark.parametrize("ramp_time", [NAN, 0.0, -0.2])
+    def test_discrete_gust_ramp_time(self, ramp_time):
+        with pytest.raises(ValueError, match="ramp_time"):
+            DiscreteGust(magnitude=0.1, ramp_time=ramp_time)
+
+    @pytest.mark.parametrize("direction", [(NAN, 0.0, 0.0), (0.0, 0.0, 0.0)])
+    def test_discrete_gust_direction(self, direction):
+        with pytest.raises(ValueError, match="direction"):
+            DiscreteGust(magnitude=0.1, direction=direction)

@@ -1,0 +1,200 @@
+"""Property-based contract of :func:`repro.drone.analyze_recovery`.
+
+The recovery criterion (paper Section 5.2: back within 5 cm of the hold
+position for 250 ms) is re-implemented here as a brute-force oracle —
+enumerate every maximal in-radius run after the disturbance and check each
+against the hold-window rule directly — and hypothesis drives randomized
+trajectories through both.  All three outputs (``recovered``,
+``time_to_recovery``, ``max_deviation``) must match the oracle *exactly*:
+both sides do the same float arithmetic on the same samples, so there is
+no tolerance to hide a semantic drift behind.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.drone import Difficulty, analyze_recovery
+from repro.drone.disturbance import (
+    Disturbance,
+    DisturbanceCategory,
+    DisturbanceType,
+    RECOVERY_HOLD_TIME,
+    RECOVERY_RADIUS,
+)
+
+RADIUS = RECOVERY_RADIUS          # 0.05 m
+HOLD = RECOVERY_HOLD_TIME         # 0.25 s
+
+
+def oracle_recovery(times, positions, hold_position, disturbance_end,
+                    radius=RADIUS, hold_time=HOLD, disturbance_start=0.0,
+                    allow_truncated_tail=False):
+    """Brute-force restatement of the recovery rule.
+
+    Enumerates the maximal in-radius runs among the samples at or after
+    ``disturbance_end`` and accepts the first run that either spans a full
+    hold window, or reaches the end of the trajectory with the required
+    tail (the full window, or half of it under ``allow_truncated_tail``).
+    """
+    times = np.asarray(times, dtype=np.float64)
+    positions = np.asarray(positions, dtype=np.float64)
+    hold = np.asarray(hold_position, dtype=np.float64)
+    if len(times) == 0:
+        return False, None, float("inf")
+    deviations = np.linalg.norm(
+        positions.reshape(len(times), -1) - hold, axis=1)
+    observed = times >= disturbance_start
+    max_deviation = (float(np.max(deviations[observed])) if np.any(observed)
+                     else float("inf"))
+
+    runs, run = [], []
+    for i in range(len(times)):
+        if times[i] < disturbance_end:
+            continue
+        if deviations[i] <= radius:
+            run.append(i)
+        elif run:
+            runs.append(run)
+            run = []
+    if run:
+        runs.append(run)
+
+    required_tail = 0.5 * hold_time if allow_truncated_tail else hold_time
+    for run in runs:
+        span = times[run[-1]] - times[run[0]]
+        reaches_trajectory_end = run[-1] == len(times) - 1
+        if span >= hold_time or (reaches_trajectory_end
+                                 and span >= required_tail):
+            return (True, float(times[run[0]] - disturbance_end),
+                    max_deviation)
+    return False, None, max_deviation
+
+
+@st.composite
+def trajectories(draw):
+    """Randomized hold-position trajectories on a uniform time grid.
+
+    Coordinates are drawn around the recovery radius so in-radius and
+    out-of-radius samples are both common, and the grid spacing is a few
+    samples per hold window so full, truncated, and broken runs all occur.
+    """
+    n = draw(st.integers(min_value=1, max_value=40))
+    dt = draw(st.sampled_from([0.02, 0.05, 0.1]))
+    times = [i * dt for i in range(n)]
+    coordinate = st.floats(min_value=-0.12, max_value=0.12,
+                           allow_nan=False)
+    positions = draw(st.lists(st.tuples(coordinate, coordinate, coordinate),
+                              min_size=n, max_size=n))
+    hold_position = draw(st.sampled_from([(0.0, 0.0, 0.0),
+                                          (0.02, -0.01, 0.03)]))
+    disturbance_end = draw(st.sampled_from([0.0, 0.1, 0.3, 0.6]))
+    disturbance_start = disturbance_end - draw(st.sampled_from([0.0, 0.1]))
+    return (times, positions, hold_position,
+            disturbance_start, disturbance_end)
+
+
+class TestOracleEquivalence:
+    @settings(max_examples=80, deadline=None)
+    @given(trajectory=trajectories(), truncated_tail=st.booleans())
+    def test_matches_brute_force_oracle(self, trajectory, truncated_tail):
+        times, positions, hold, start, end = trajectory
+        result = analyze_recovery(times, positions, hold, end,
+                                  disturbance_start=start,
+                                  allow_truncated_tail=truncated_tail)
+        recovered, ttr, max_deviation = oracle_recovery(
+            times, positions, hold, end, disturbance_start=start,
+            allow_truncated_tail=truncated_tail)
+        assert result.recovered == recovered
+        assert result.time_to_recovery == ttr
+        assert result.max_deviation == max_deviation
+
+    @settings(max_examples=40, deadline=None)
+    @given(trajectory=trajectories())
+    def test_recovered_implies_consistent_ttr(self, trajectory):
+        times, positions, hold, start, end = trajectory
+        result = analyze_recovery(times, positions, hold, end,
+                                  disturbance_start=start)
+        if result.recovered:
+            assert result.time_to_recovery is not None
+            assert result.time_to_recovery >= 0.0
+            # The recovery instant is an actual sample of the trajectory.
+            assert any(math.isclose(t, end + result.time_to_recovery)
+                       for t in times)
+        else:
+            assert result.time_to_recovery is None
+
+
+class TestHoldWindowSemantics:
+    """Deterministic anchors for the rules the oracle generalizes."""
+
+    def _settled(self, duration, dt=0.05, end=0.0):
+        times = [i * dt for i in range(int(round(duration / dt)) + 1)]
+        positions = [(0.0, 0.0, 0.0)] * len(times)
+        return times, positions, end
+
+    def test_full_hold_window_recovers(self):
+        times, positions, end = self._settled(HOLD)
+        result = analyze_recovery(times, positions, (0, 0, 0), end)
+        assert result.recovered and result.time_to_recovery == 0.0
+
+    def test_truncated_tail_needs_opt_in(self):
+        # In radius from the start but the trajectory ends after 0.15 s —
+        # more than half a hold window, less than a full one: the paper
+        # criterion rejects, the relaxed historical rule accepts.
+        times, positions, end = self._settled(0.6 * HOLD)
+        strict = analyze_recovery(times, positions, (0, 0, 0), end)
+        relaxed = analyze_recovery(times, positions, (0, 0, 0), end,
+                                   allow_truncated_tail=True)
+        assert not strict.recovered
+        assert relaxed.recovered and relaxed.time_to_recovery == 0.0
+
+    def test_blip_outside_radius_resets_the_window(self):
+        dt = 0.05
+        times = [i * dt for i in range(16)]
+        positions = [(0.0, 0.0, 0.0)] * 16
+        positions[4] = (2 * RADIUS, 0.0, 0.0)   # one bad sample at t=0.2
+        result = analyze_recovery(times, positions, (0, 0, 0), 0.0)
+        assert result.recovered
+        # Recovery restarts at the first good sample after the blip.
+        assert result.time_to_recovery == pytest.approx(5 * dt)
+
+    def test_peak_deviation_measured_from_disturbance_start(self):
+        dt, start, end = 0.1, 0.4, 0.5
+        times = [i * dt for i in range(12)]
+        positions = [(0.0, 0.0, 0.0)] * 12
+        positions[1] = (9.0, 0.0, 0.0)    # pre-disturbance transient: excluded
+        positions[4] = (0.3, 0.0, 0.0)    # during the window: included
+        result = analyze_recovery(times, positions, (0, 0, 0), end,
+                                  disturbance_start=start)
+        assert result.max_deviation == pytest.approx(0.3)
+
+    def test_empty_trajectory(self):
+        result = analyze_recovery([], [], (0, 0, 0), 0.0)
+        assert not result.recovered
+        assert result.time_to_recovery is None
+        assert result.max_deviation == float("inf")
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            analyze_recovery([0.0, 0.1], [(0, 0, 0)], (0, 0, 0), 0.0)
+
+
+class TestCrashInWindow:
+    def test_crashed_episode_is_not_recovered(self):
+        """An absurd disturbance crashes the plant inside the observation
+        window; the truncated trajectory must never count as recovered."""
+        from repro.fleet import EpisodeSpec, run_campaign
+
+        spec = EpisodeSpec(
+            difficulty=Difficulty.EASY, seed=0, implementation="ideal",
+            recovery_duration=2.0,
+            disturbance=Disturbance(DisturbanceCategory.FORCE,
+                                    DisturbanceType.STEP,
+                                    (0.0, 0.0, -1.0), 50.0, start_time=0.3))
+        result = run_campaign([spec], batching=False).results[0]
+        assert not result.recovered
+        assert result.time_to_recovery is None

@@ -1,0 +1,174 @@
+"""Fleet/serial equivalence for the scenario-diversity axes.
+
+Gust fields, sensor faults, and payload mass mismatch all plug into the
+same :class:`~repro.hil.episode.EpisodeRunner` state machine as the classic
+Fig. 17 disturbances, so they inherit the fleet engine's equivalence
+contract (the bar set by ``tests/fleet/test_recovery.py``):
+
+* with batching *off*, a campaign over diverse specs reproduces a
+  hand-driven serial solver loop **bit-for-bit**;
+* with batching *on*, discrete outcomes are exactly equal and float
+  metrics agree to GEMM round-off;
+* every diverse episode still shares the nominal MPC problem (the
+  controller's model never changes — that is the point of the mismatch
+  axes), so the whole suite packs into one batch group.
+"""
+
+import dataclasses
+import math
+
+import pytest
+
+from repro.drone import Difficulty, DiscreteGust, DrydenGust
+from repro.fleet import EpisodeSpec, run_campaign
+from repro.fleet.campaign import EpisodeFactory, RECOVERY_CELL_AXES
+from repro.hil import SensorFaults
+from repro.tinympc import SolverSettings, TinyMPCSolver
+
+# One spec per diversity axis, all sharing the nominal controller model.
+DIVERSE_SPECS = [
+    EpisodeSpec(difficulty=Difficulty.EASY, seed=0, implementation="ideal",
+                recovery_duration=2.0,
+                disturbance=DrydenGust(magnitude=0.08, seed=4,
+                                       start_time=0.4, duration=1.0)),
+    EpisodeSpec(difficulty=Difficulty.EASY, seed=1, implementation="ideal",
+                recovery_duration=2.0,
+                disturbance=DiscreteGust(magnitude=0.12, start_time=0.4)),
+    EpisodeSpec(difficulty=Difficulty.EASY, seed=2, implementation="ideal",
+                recovery_duration=2.0,
+                disturbance=DrydenGust(magnitude=0.05, seed=9,
+                                       start_time=0.4, duration=1.0),
+                sensor_faults=SensorFaults(noise_std=0.004, latency_s=0.01,
+                                           dropout_rate=0.2, seed=11)),
+    EpisodeSpec(difficulty=Difficulty.EASY, seed=3, implementation="ideal",
+                recovery_duration=2.0,
+                disturbance=DiscreteGust(magnitude=0.06, start_time=0.4),
+                mass_scale=1.5),
+]
+
+
+def serial_reference(specs):
+    """Drive each episode with its own scalar solver — the ground truth."""
+    factory = EpisodeFactory()
+    results = []
+    for index, spec in enumerate(specs):
+        episode = factory.build(spec, index)
+        solver = TinyMPCSolver(episode.problem, episode.settings,
+                               cache=episode.cache)
+        stepper = episode.runner.run()
+        response = None
+        while True:
+            try:
+                request = stepper.send(response)
+            except StopIteration:
+                break
+            solution = solver.solve(request.x0, Xref=request.goal)
+            response = (solution.control, solution.iterations)
+        results.append(episode.runner.result)
+    return results
+
+
+@pytest.fixture(scope="module")
+def diversity_reference():
+    return serial_reference(DIVERSE_SPECS)
+
+
+class TestScenarioDiversityEquivalence:
+    def test_unbatched_campaign_bit_for_bit(self, diversity_reference):
+        outcome = run_campaign(DIVERSE_SPECS, batching=False)
+        assert len(outcome.results) == len(diversity_reference)
+        for reference, result in zip(diversity_reference, outcome.results):
+            assert result.recovered == reference.recovered
+            assert result.time_to_recovery == reference.time_to_recovery
+            assert result.max_deviation == reference.max_deviation
+
+    def test_batched_campaign_matches_serial(self, diversity_reference):
+        outcome = run_campaign(DIVERSE_SPECS, batching=True)
+        assert outcome.stats.batched_solves > 0
+        # Diverse plants, one controller model: a single batch group.
+        assert outcome.stats.groups == 1
+        for reference, result in zip(diversity_reference, outcome.results):
+            assert result.recovered == reference.recovered
+            assert ((result.time_to_recovery is None)
+                    == (reference.time_to_recovery is None))
+            if reference.time_to_recovery is not None:
+                assert result.time_to_recovery == pytest.approx(
+                    reference.time_to_recovery, rel=1e-6, abs=1e-9)
+            assert result.max_deviation == pytest.approx(
+                reference.max_deviation, rel=1e-6, abs=1e-9)
+
+    def test_sharded_campaign_bit_for_bit(self, diversity_reference):
+        outcome = run_campaign(DIVERSE_SPECS, workers=2, batching=False)
+        for reference, result in zip(diversity_reference, outcome.results):
+            assert result.recovered == reference.recovered
+            assert result.max_deviation == reference.max_deviation
+
+    def test_scalar_rerun_is_bit_stable(self):
+        first = run_campaign(DIVERSE_SPECS, batching=False).results
+        second = run_campaign(DIVERSE_SPECS, batching=False).results
+        for a, b in zip(first, second):
+            assert a.recovered == b.recovered
+            assert a.time_to_recovery == b.time_to_recovery
+            assert a.max_deviation == b.max_deviation
+
+
+class TestDiversityCellKeys:
+    def test_cell_keys_carry_new_axes(self):
+        keys = [spec.cell_key() for spec in DIVERSE_SPECS]
+        assert all(len(key) == len(RECOVERY_CELL_AXES) for key in keys)
+        by_axis = dict(zip(RECOVERY_CELL_AXES, keys[3]))
+        assert by_axis["mass_scale"] == 1.5
+        assert by_axis["disturbance_category"] == "gust"
+        assert by_axis["disturbance_kind"] == "discrete_gust"
+        faulty = dict(zip(RECOVERY_CELL_AXES, keys[2]))
+        assert faulty["sensor_profile"] == "n0.004/l0.01/d0.2"
+
+    def test_aggregate_rows_split_by_diversity_axes(self):
+        outcome = run_campaign(DIVERSE_SPECS, batching=True)
+        rows = outcome.rows()
+        assert len(rows) == 4      # every spec lands in its own cell
+        assert {row["disturbance_kind"] for row in rows} == \
+            {"dryden", "discrete_gust"}
+        assert {row["sensor_profile"] for row in rows} == \
+            {"clean", "n0.004/l0.01/d0.2"}
+        assert {row["mass_scale"] for row in rows} == {1.0, 1.5}
+
+    def test_fault_seed_is_repetition_not_cell(self):
+        base = DIVERSE_SPECS[2]
+        other = dataclasses.replace(
+            base, sensor_faults=dataclasses.replace(base.sensor_faults,
+                                                    seed=99))
+        assert other.cell_key() == base.cell_key()
+
+
+class TestMassMismatchPhysics:
+    def test_plant_params_keep_motors_fixed(self):
+        factory = EpisodeFactory()
+        spec = dataclasses.replace(DIVERSE_SPECS[3], mass_scale=1.6)
+        nominal = factory.plant_params_for(
+            dataclasses.replace(spec, mass_scale=1.0))
+        assert nominal is None     # no mismatch: plant flies the model
+        perturbed = factory.plant_params_for(spec)
+        baseline = factory._variants[spec.variant]
+        assert perturbed.mass == pytest.approx(baseline.mass * 1.6)
+        # Fixed motors: the absolute thrust ceiling must not change.
+        assert perturbed.max_thrust_per_rotor() == pytest.approx(
+            baseline.max_thrust_per_rotor())
+
+    def test_past_thrust_to_weight_cannot_hover(self):
+        # Above mass_scale = thrust_to_weight the motors cannot lift the
+        # payload at all: the episode must fail (crash or no recovery).
+        spec = dataclasses.replace(DIVERSE_SPECS[3], mass_scale=2.2,
+                                   recovery_duration=3.0)
+        result = run_campaign([spec], batching=False).results[0]
+        assert not result.recovered
+
+    def test_small_mismatch_still_recovers(self):
+        # Full-length episode: settling after the gust takes over a second,
+        # so the truncated 2 s suite duration would fail even at nominal
+        # mass and prove nothing about the mismatch.
+        spec = dataclasses.replace(DIVERSE_SPECS[3], mass_scale=1.1,
+                                   recovery_duration=3.0)
+        result = run_campaign([spec], batching=False).results[0]
+        assert result.recovered
+        assert math.isfinite(result.max_deviation)

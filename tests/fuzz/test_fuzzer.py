@@ -1,0 +1,209 @@
+"""The campaign fuzzer's search logic, shrinking, and determinism.
+
+The bisection/bracketing machinery is exercised against *synthetic*
+oracles (a planted severity threshold per axis) so convergence properties
+are testable without flying thousands of episodes; a small real campaign
+then pins cross-process determinism — the same ``FuzzConfig`` must produce
+byte-identical reports and fixtures regardless of ``PYTHONHASHSEED``.
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.drone.disturbance import RecoveryResult
+from repro.fuzz import (
+    AXES,
+    FuzzConfig,
+    axis_names,
+    fixture_filename,
+    load_fixtures,
+    run_fuzz_campaign,
+)
+from repro.fuzz.axes import get_axis
+from repro.fuzz.campaign_fuzzer import _ladder, _midpoint, _round_sig
+
+REPO_ROOT = os.path.join(os.path.dirname(__file__), "..", "..")
+
+
+def severity(spec):
+    """The scalar knob a synthetic oracle thresholds on."""
+    if spec.mass_scale != 1.0:
+        return spec.mass_scale
+    if spec.sensor_faults is not None:
+        faults = spec.sensor_faults
+        return max(faults.noise_std, faults.latency_s, faults.dropout_rate)
+    return spec.disturbance.magnitude
+
+
+def make_oracle(threshold):
+    def oracle(specs):
+        return [RecoveryResult(recovered=severity(spec) <= threshold,
+                               time_to_recovery=0.1, max_deviation=0.2,
+                               disturbance=spec.disturbance)
+                for spec in specs]
+    return oracle
+
+
+class TestSearchLogic:
+    def test_bisection_converges_to_planted_threshold(self):
+        for axis_name, threshold in (("force-step", 0.7),
+                                     ("mass-mismatch", 1.7),
+                                     ("sensor-dropout", 0.55)):
+            oracle = make_oracle(threshold)
+            config = FuzzConfig(seed=0, axes=(axis_name,), draws_per_axis=2,
+                                rungs=5, bisect_rounds=8)
+            report = run_fuzz_campaign(config, evaluate=oracle,
+                                       evaluate_scalar=oracle)
+            for boundary in report.boundaries:
+                assert boundary.lo_pass is not None
+                assert boundary.hi_fail is not None
+                assert boundary.lo_pass <= threshold < boundary.hi_fail
+                # Eight bisection rounds shrink the bracket far below the
+                # coarse ladder spacing.
+                assert (boundary.hi_fail - boundary.lo_pass) < 0.05 * threshold
+
+    def test_whole_range_recovering_mints_no_fixture(self):
+        oracle = make_oracle(float("inf"))
+        config = FuzzConfig(seed=0, axes=("force-step",), draws_per_axis=1)
+        report = run_fuzz_campaign(config, evaluate=oracle,
+                                   evaluate_scalar=oracle)
+        (boundary,) = report.boundaries
+        assert boundary.hi_fail is None
+        assert boundary.lo_pass == pytest.approx(AXES["force-step"].hi)
+        assert boundary.fixture is None
+        assert report.fixtures == []
+
+    def test_whole_range_failing_reports_unbounded_low_side(self):
+        oracle = make_oracle(0.0)
+        config = FuzzConfig(seed=0, axes=("force-step",), draws_per_axis=1)
+        report = run_fuzz_campaign(config, evaluate=oracle,
+                                   evaluate_scalar=oracle)
+        (boundary,) = report.boundaries
+        assert boundary.lo_pass is None
+        assert boundary.hi_fail == pytest.approx(AXES["force-step"].lo)
+        assert boundary.fixture is not None
+
+    def test_ladder_and_midpoint_geometry(self):
+        log_axis = get_axis("force-step")
+        ladder = _ladder(log_axis, 5)
+        assert ladder[0] == pytest.approx(log_axis.lo)
+        assert ladder[-1] == pytest.approx(log_axis.hi)
+        ratios = [b / a for a, b in zip(ladder, ladder[1:])]
+        assert all(r == pytest.approx(ratios[0]) for r in ratios)
+        assert _midpoint(log_axis, 1.0, 4.0) == pytest.approx(2.0)
+
+        linear_axis = get_axis("sensor-dropout")
+        ladder = _ladder(linear_axis, 4)
+        steps = [b - a for a, b in zip(ladder, ladder[1:])]
+        assert all(s == pytest.approx(steps[0]) for s in steps)
+        assert _midpoint(linear_axis, 0.2, 0.4) == pytest.approx(0.3)
+
+    def test_round_sig(self):
+        assert _round_sig(0.701377, 2) == pytest.approx(0.70)
+        assert _round_sig(0.701377, 3) == pytest.approx(0.701)
+        assert _round_sig(1936.5, 2) == pytest.approx(1900.0)
+        assert _round_sig(0.0, 2) == 0.0
+
+    def test_config_validation(self):
+        with pytest.raises(KeyError):
+            FuzzConfig(axes=("no-such-axis",))
+        with pytest.raises(ValueError):
+            FuzzConfig(rungs=1)
+        with pytest.raises(ValueError):
+            FuzzConfig(draws_per_axis=0)
+        assert FuzzConfig().axes == axis_names()
+
+
+class TestNuisanceDraws:
+    def test_draw_zero_is_canonical(self):
+        for axis in AXES.values():
+            nuisance = axis.draw_nuisance(fuzz_seed=123, draw=0)
+            assert all(index == 0 for index in nuisance.values())
+
+    def test_draws_deterministic_per_seed(self):
+        axis = AXES["dryden-gust"]
+        assert axis.draw_nuisance(7, 3) == axis.draw_nuisance(7, 3)
+        draws = [axis.draw_nuisance(7, d) for d in range(16)]
+        assert any(draw != draws[0] for draw in draws)   # actually varies
+
+    def test_every_axis_builds_valid_specs(self):
+        for axis in AXES.values():
+            for draw in range(3):
+                nuisance = axis.draw_nuisance(0, draw)
+                for magnitude in (axis.lo, axis.hi):
+                    spec = axis.build(magnitude, nuisance)
+                    assert spec.is_recovery
+                    # Round-trips through JSON: required for fixtures.
+                    blob = json.dumps(spec.to_dict(), sort_keys=True)
+                    assert json.dumps(spec.to_dict(), sort_keys=True) == blob
+
+
+class TestShrinking:
+    def test_shrunk_fixture_is_minimal_and_still_fails(self, tmp_path):
+        threshold = 0.714159       # awkward digits: snapping has work to do
+        oracle = make_oracle(threshold)
+        config = FuzzConfig(seed=5, axes=("force-step",), draws_per_axis=3,
+                            rungs=5, bisect_rounds=6)
+        report = run_fuzz_campaign(config, fixture_dir=str(tmp_path),
+                                   evaluate=oracle, evaluate_scalar=oracle)
+        fixtures = load_fixtures(str(tmp_path))
+        assert fixtures
+        from repro.fleet.campaign import EpisodeSpec
+        for _, payload in fixtures:
+            spec = EpisodeSpec.from_dict(payload["spec"])
+            # Still past the planted boundary...
+            assert severity(spec) > threshold
+            # ...with snapped magnitude (three significant digits or fewer)
+            assert severity(spec) == pytest.approx(
+                _round_sig(severity(spec), 3))
+            assert payload["outcome"]["recovered"] is False
+
+    def test_nuisances_shrink_to_canonical_when_irrelevant(self, tmp_path):
+        # Severity ignores the nuisances entirely, so every shrink move
+        # must be accepted and all draws collapse to one canonical fixture.
+        oracle = make_oracle(0.5)
+        config = FuzzConfig(seed=9, axes=("force-step",), draws_per_axis=4,
+                            rungs=5, bisect_rounds=4)
+        report = run_fuzz_campaign(config, fixture_dir=str(tmp_path),
+                                   evaluate=oracle, evaluate_scalar=oracle)
+        assert len(report.fixtures) == 1
+        (name, payload), = load_fixtures(str(tmp_path))
+        assert payload["spec"]["disturbance"]["direction"] == [1.0, 0.0, 0.0]
+        assert payload["spec"]["disturbance"]["start_time"] == 0.5
+        assert name == fixture_filename(payload)
+
+
+class TestRealCampaignDeterminism:
+    def test_identical_output_across_hash_seeds(self, tmp_path):
+        """The real fuzzer is a pure function of its config: two fresh
+        processes with different PYTHONHASHSEED must produce byte-identical
+        reports and fixtures."""
+        outputs = []
+        for tag, hash_seed in (("a", "1"), ("b", "4242")):
+            out_dir = tmp_path / tag
+            out_dir.mkdir()
+            env = dict(os.environ,
+                       PYTHONHASHSEED=hash_seed,
+                       PYTHONPATH=os.path.join(REPO_ROOT, "src"))
+            subprocess.run(
+                [sys.executable,
+                 os.path.join(REPO_ROOT, "scripts", "fuzz_campaign.py"),
+                 "--seed", "2", "--axes", "force-step", "--draws", "1",
+                 "--rungs", "3", "--bisect", "1", "--quiet",
+                 "--fixtures-dir", str(out_dir / "fixtures"),
+                 "--output", str(out_dir / "report.json")],
+                check=True, env=env, timeout=600)
+            report = (out_dir / "report.json").read_bytes()
+            fixtures = {
+                path.name: path.read_bytes()
+                for path in sorted((out_dir / "fixtures").glob("*.json"))
+            }
+            outputs.append((report, fixtures))
+        assert outputs[0][0] == outputs[1][0]
+        assert list(outputs[0][1]) == list(outputs[1][1])
+        for name in outputs[0][1]:
+            assert outputs[0][1][name] == outputs[1][1][name]

@@ -1,0 +1,77 @@
+"""Replay the checked-in shrunk fuzz fixtures exactly.
+
+Every JSON file under ``tests/fuzz/fixtures/`` is a minimal episode spec
+the fuzzer found past the recovery boundary, together with the outcome
+observed on the scalar execution path.  This suite re-flies each one
+through the same path and fails on any divergence — so a behavioural
+change to the plant, the solver, the gust/fault models, or the recovery
+criterion that moves a pinned boundary point is caught as a concrete,
+replayable diff rather than a silent drift of the Fig. 17 curves.
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.fuzz import load_fixtures, replay_fixture
+
+FIXTURE_DIR = os.path.join(os.path.dirname(__file__), "fixtures")
+REPO_ROOT = os.path.join(os.path.dirname(__file__), "..", "..")
+
+FIXTURES = load_fixtures(FIXTURE_DIR)
+
+
+def test_fixture_corpus_is_present():
+    """The acceptance bar: at least three shrunk fixtures are pinned, and
+    they cover more than one fuzz axis."""
+    assert len(FIXTURES) >= 3
+    axes = {payload["axis"] for _, payload in FIXTURES}
+    assert len(axes) >= 3
+
+
+@pytest.mark.parametrize("name,payload", FIXTURES,
+                         ids=[name for name, _ in FIXTURES])
+def test_fixture_replays_exactly(name, payload):
+    result, divergences = replay_fixture(payload)
+    assert not divergences, "{} diverged: {}".format(
+        name, "; ".join(divergences))
+    # A fixture is by construction a *failure* past the boundary.
+    assert payload["outcome"]["recovered"] is False
+    assert not result.recovered
+
+
+def test_replay_is_bit_deterministic_across_processes():
+    """Two fresh interpreters with different PYTHONHASHSEED must report the
+    exact same floats for the same fixture (full repr compared)."""
+    name, payload = FIXTURES[0]
+    script = (
+        "import json,sys\n"
+        "from repro.fuzz import replay_fixture\n"
+        "payload=json.load(open(sys.argv[1]))\n"
+        "result,div=replay_fixture(payload)\n"
+        "print(repr((result.recovered, result.time_to_recovery,"
+        " result.max_deviation, div)))\n"
+    )
+    outputs = []
+    for hash_seed in ("17", "90210"):
+        env = dict(os.environ, PYTHONHASHSEED=hash_seed,
+                   PYTHONPATH=os.path.join(REPO_ROOT, "src"))
+        completed = subprocess.run(
+            [sys.executable, "-c", script,
+             os.path.join(FIXTURE_DIR, name)],
+            check=True, env=env, capture_output=True, text=True, timeout=600)
+        outputs.append(completed.stdout)
+    assert outputs[0] == outputs[1]
+
+
+def test_fixtures_are_canonical_json():
+    """Fixtures must be loadable and re-serialize to the bytes on disk
+    (guards hand-edits that would break content-addressed filenames)."""
+    for name, payload in FIXTURES:
+        path = os.path.join(FIXTURE_DIR, name)
+        with open(path) as handle:
+            on_disk = handle.read()
+        assert on_disk == json.dumps(payload, indent=2, sort_keys=True) + "\n"
