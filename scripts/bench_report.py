@@ -18,7 +18,12 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
-from repro.bench import run_kernel_hotpath_bench, write_bench_report  # noqa: E402
+from repro.bench import (  # noqa: E402
+    run_compiled_backend_bench,
+    run_kernel_hotpath_bench,
+    write_bench_report,
+)
+from repro.tinympc import kernel_backend_info  # noqa: E402
 
 
 def main() -> int:
@@ -27,23 +32,33 @@ def main() -> int:
                         help="fewer rounds and a tiny campaign grid (CI)")
     parser.add_argument("--no-campaign", action="store_true",
                         help="skip the fleet-campaign comparison")
+    parser.add_argument("--backend", default="auto",
+                        help="compiled backend to measure (auto/numba/c/"
+                             "numpy; numpy skips the compiled rows)")
     parser.add_argument("--output-dir", type=Path, default=None,
                         help="directory for BENCH_kernels.json")
     args = parser.parse_args()
 
     metrics, rows = run_kernel_hotpath_bench(smoke=args.smoke,
                                              campaign=not args.no_campaign)
+    compiled_metrics, compiled_rows = run_compiled_backend_bench(
+        args.backend, smoke=args.smoke)
+    metrics.update(compiled_metrics)
+    rows.extend(compiled_rows)
     path = write_bench_report("kernels", metrics, rows, smoke=args.smoke,
                               directory=args.output_dir)
 
     print("== per-kernel timings (best-of, microseconds) ==")
-    header = "{:22s} {:>8s} {:>10s} {:>10s} {:>8s}".format(
-        "kernel", "layout", "fast_us", "naive_us", "speedup")
+    header = "{:22s} {:>8s} {:>8s} {:>10s} {:>10s} {:>8s}".format(
+        "kernel", "layout", "impl", "fast_us", "naive_us", "speedup")
     print(header)
     for row in rows:
-        print("{:22s} {:>8s} {:>10.2f} {:>10.2f} {:>7.2f}x".format(
-            row["kernel"], row["layout"], row["fast_us"], row["naive_us"],
-            row["speedup"]))
+        print("{:22s} {:>8s} {:>8s} {:>10.2f} {:>10.2f} {:>7.2f}x".format(
+            row["kernel"], row["layout"], row.get("impl", "numpy"),
+            row["fast_us"], row["naive_us"], row["speedup"]))
+    print("\n== active kernel backend ==")
+    for key, value in kernel_backend_info().items():
+        print("{:40s} {}".format(key, value))
     print("\n== headline metrics ==")
     for key in sorted(metrics):
         print("{:40s} {}".format(key, metrics[key]))

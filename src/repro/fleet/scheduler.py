@@ -65,14 +65,16 @@ def compatibility_key(problem: MPCProblem, settings: SolverSettings) -> Tuple:
 
     Compatibility requires identical problem *content* (dynamics, costs,
     bounds, horizon — i.e. identical workspace shapes and solve numerics)
-    and identical termination settings.  Clock frequency, UART latency, and
-    drone variant names do **not** appear: frequency only scales latency
-    outside the solver, and two variants with different parameters already
-    hash to different problems.
+    and identical termination settings, including the compute dtype (a
+    float32 episode and a float64 episode must never share a workspace).
+    Clock frequency, UART latency, and drone variant names do **not**
+    appear: frequency only scales latency outside the solver, and two
+    variants with different parameters already hash to different problems.
     """
     return (problem_hash(problem), settings.max_iterations,
             settings.abs_primal_tolerance, settings.abs_dual_tolerance,
-            settings.check_termination_every, settings.warm_start)
+            settings.check_termination_every, settings.warm_start,
+            getattr(settings, "dtype", "float64"))
 
 
 @dataclass
@@ -178,7 +180,13 @@ class SolverPool:
     @staticmethod
     def _key(problem: MPCProblem, settings: SolverSettings,
              capacity: int) -> Tuple:
-        return compatibility_key(problem, settings) + (capacity,)
+        # The active kernel backend joins the key: pooled workspaces carry
+        # backend-specific binding state (cffi pointer structs, jit argument
+        # tuples), so a solver parked under one backend must not be handed
+        # out under another even though the solve numerics would recover.
+        from ..tinympc.compiled import active_backend
+        return (compatibility_key(problem, settings)
+                + (capacity, active_backend()))
 
     def acquire(self, problem: MPCProblem, settings: SolverSettings,
                 capacity: int,

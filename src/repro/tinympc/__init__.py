@@ -16,12 +16,23 @@ from .kernels import (
     kernel_flop_breakdown,
 )
 from .naive import use_naive_kernels
+from .compiled import (
+    activate_from_env as _activate_kernel_backend_from_env,
+    active_backend,
+    available_backends,
+    kernel_backend_info,
+    use_compiled_kernels,
+)
 from .reference import (
     ReferenceSolution,
     condensed_qp_solution,
     lqr_tracking_solution,
     rollout,
 )
+
+# Honor REPRO_KERNEL_BACKEND once at import: unset (or "numpy") keeps the
+# default numpy kernels and probes no toolchain.
+_activate_kernel_backend_from_env()
 
 __all__ = [
     "MPCProblem",
@@ -36,6 +47,10 @@ __all__ = [
     "SolveScratch",
     "admm_iteration",
     "use_naive_kernels",
+    "use_compiled_kernels",
+    "active_backend",
+    "available_backends",
+    "kernel_backend_info",
     "SolverSettings",
     "TinyMPCSolution",
     "TinyMPCSolver",

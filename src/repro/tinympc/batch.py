@@ -42,7 +42,7 @@ import numpy as np
 from . import kernels
 from .cache import LQRCache, compute_cache
 from .problem import MPCProblem
-from .solver import SolverSettings, TinyMPCSolution
+from .solver import SolverSettings, TinyMPCSolution, _apply_compute_dtype
 from .workspace import (
     COLD_START_BUFFERS,
     RESIDUAL_FIELDS,
@@ -118,6 +118,7 @@ class BatchTinyMPCSolver:
         self.settings = settings or SolverSettings()
         self.cache = cache or compute_cache(problem)
         self.workspace = BatchTinyMPCWorkspace(problem, batch=batch_size)
+        _apply_compute_dtype(self.workspace, self.settings)
         self._warm = np.zeros(batch_size, dtype=bool)
         # Freeze/restore scratch: converged (or inactive) instances park
         # their state here while the rest of the batch keeps iterating.
@@ -196,18 +197,13 @@ class BatchTinyMPCSolver:
             np.logical_not(converged, out=live)
             np.logical_and(active, live, out=live)
             iterations[live] = iteration
-            kernels.forward_pass(ws, self.cache)
-            kernels.update_slack(ws)
-            kernels.update_dual(ws)
-            kernels.update_linear_cost(ws, self.cache)
             checked = iteration % settings.check_termination_every == 0
+            # The prelude covers forward pass through residuals plus the
+            # v/z slack-iterate copy — one fused call on compiled backends.
+            kernels.iteration_prelude(ws, self.cache, with_residuals=checked)
             if checked:
-                kernels.update_residuals(ws)
                 self._converged_mask_into(newly)
                 np.logical_and(live, newly, out=newly)
-            # Keep previous slack iterates for the next dual residual.
-            ws.v[...] = ws.vnew
-            ws.z[...] = ws.znew
             if checked and newly.any():
                 # Snapshot at exactly the state the scalar solver stops in.
                 self._save(np.flatnonzero(newly))

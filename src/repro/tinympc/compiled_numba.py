@@ -1,0 +1,324 @@
+"""numba kernel backend: the same fused ADMM iteration as the C backend.
+
+This module is only importable when numba is installed; the registry in
+:mod:`repro.tinympc.compiled` guards the import and falls back to the C
+backend (or numpy) when it is not.  The jitted loops mirror
+:mod:`repro.tinympc.compiled_c` exactly: axpy-ordered matvecs (sequential
+accumulation per output lane — the naive reference's dot-product order),
+NaN-propagating clips and maxima, and the hoisted ``r @ Kinf`` in the
+backward pass (sound here for the same reason as in C: the loop order is
+explicit, so hoisting per-step products out of the recursion is literally
+the same arithmetic).
+
+numba's default compilation is strict IEEE (``fastmath=False``): no
+reassociation and no FMA contraction, so the numerical contract matches the
+C backend's — elementwise kernels bit-for-bit vs. the numpy reference,
+matvecs within the standard reordering bound of the BLAS result.
+
+All functions take the workspace as flat 3-D ``(B, N, k)`` views — a scalar
+workspace is bound as batch 1 — plus ``(B,)`` residual views, so one
+compiled function serves both layouts.  ``parallel=True`` variants prange
+over the batch dimension; they are selected only when
+``REPRO_KERNEL_THREADS`` asks for more than one thread.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from numba import njit, prange  # noqa: F401  (guarded by compiled.py)
+
+from .cache import LQRCache
+from .workspace import TinyMPCWorkspace
+
+__all__ = ["NumbaKernels", "load_numba_backend"]
+
+
+def _kernel_source(parallel: bool):
+    """Build the jitted iteration body, serial or prange-parallel.
+
+    The body is identical either way; only the batch-loop iterator differs,
+    which is why it is generated through a closure instead of copy-pasted.
+    """
+    batch_range = prange if parallel else range
+
+    @njit(cache=not parallel, parallel=parallel)
+    def fused(x, u, q, r, p, d, v, vnew, z, znew, g, y, Xref, Uref,
+              negKinfT, AT, BT, Bm, QuuT, AmBKtT, Kinf, negR, negQ, negPinf,
+              umin, umax, xmin, xmax, rho,
+              prs, drs, pri, dri,
+              stage, with_residuals):
+        B, N, n = x.shape
+        m = u.shape[2]
+        for b in batch_range(B):
+            run_fwd = stage == 0 or stage == 2 or stage == 3
+            run_slack = stage == 0 or stage == 2 or stage == 4
+            run_dual = stage == 0 or stage == 2 or stage == 5
+            run_cost = stage == 0 or stage == 2 or stage == 6
+            run_resid = ((stage == 0 or stage == 2) and with_residuals) \
+                or stage == 7
+            run_copy = stage == 0 or stage == 2
+            run_bwd = stage == 1 or stage == 2 or stage == 8
+            t_m = np.empty(m, dtype=x.dtype)
+            if run_fwd:
+                for i in range(N - 1):
+                    for j in range(m):
+                        acc = x[b, i, 0] * negKinfT[0, j]
+                        for k in range(1, n):
+                            acc += x[b, i, k] * negKinfT[k, j]
+                        u[b, i, j] = acc - d[b, i, j]
+                    for j in range(n):
+                        acc = x[b, i, 0] * AT[0, j]
+                        for k in range(1, n):
+                            acc += x[b, i, k] * AT[k, j]
+                        acc2 = u[b, i, 0] * BT[0, j]
+                        for k in range(1, m):
+                            acc2 += u[b, i, k] * BT[k, j]
+                        x[b, i + 1, j] = acc + acc2
+            if run_slack:
+                for i in range(N - 1):
+                    for j in range(m):
+                        t = u[b, i, j] + y[b, i, j]
+                        if t == t:
+                            t = t if t > umin[j] else umin[j]
+                            t = t if t < umax[j] else umax[j]
+                        znew[b, i, j] = t
+                for i in range(N):
+                    for j in range(n):
+                        t = x[b, i, j] + g[b, i, j]
+                        if t == t:
+                            t = t if t > xmin[j] else xmin[j]
+                            t = t if t < xmax[j] else xmax[j]
+                        vnew[b, i, j] = t
+            if run_dual:
+                for i in range(N - 1):
+                    for j in range(m):
+                        y[b, i, j] += u[b, i, j] - znew[b, i, j]
+                for i in range(N):
+                    for j in range(n):
+                        g[b, i, j] += x[b, i, j] - vnew[b, i, j]
+            if run_cost:
+                for i in range(N - 1):
+                    for j in range(m):
+                        acc = Uref[b, i, 0] * negR[0, j]
+                        for k in range(1, m):
+                            acc += Uref[b, i, k] * negR[k, j]
+                        r[b, i, j] = acc - rho * (znew[b, i, j] - y[b, i, j])
+                for i in range(N):
+                    for j in range(n):
+                        acc = Xref[b, i, 0] * negQ[0, j]
+                        for k in range(1, n):
+                            acc += Xref[b, i, k] * negQ[k, j]
+                        q[b, i, j] = acc - rho * (vnew[b, i, j] - g[b, i, j])
+                for j in range(n):
+                    acc = Xref[b, N - 1, 0] * negPinf[0, j]
+                    for k in range(1, n):
+                        acc += Xref[b, N - 1, k] * negPinf[k, j]
+                    p[b, N - 1, j] = acc - rho * (vnew[b, N - 1, j]
+                                                  - g[b, N - 1, j])
+            if run_resid:
+                mx = abs(x[b, 0, 0] - vnew[b, 0, 0])
+                for i in range(N):
+                    for j in range(n):
+                        t = abs(x[b, i, j] - vnew[b, i, j])
+                        if t > mx or t != t:
+                            mx = t
+                prs[b] = mx
+                mx = abs(v[b, 0, 0] - vnew[b, 0, 0])
+                for i in range(N):
+                    for j in range(n):
+                        t = abs(v[b, i, j] - vnew[b, i, j])
+                        if t > mx or t != t:
+                            mx = t
+                drs[b] = rho * mx
+                mx = abs(u[b, 0, 0] - znew[b, 0, 0])
+                for i in range(N - 1):
+                    for j in range(m):
+                        t = abs(u[b, i, j] - znew[b, i, j])
+                        if t > mx or t != t:
+                            mx = t
+                pri[b] = mx
+                mx = abs(z[b, 0, 0] - znew[b, 0, 0])
+                for i in range(N - 1):
+                    for j in range(m):
+                        t = abs(z[b, i, j] - znew[b, i, j])
+                        if t > mx or t != t:
+                            mx = t
+                dri[b] = rho * mx
+            if run_copy:
+                for i in range(N):
+                    for j in range(n):
+                        v[b, i, j] = vnew[b, i, j]
+                for i in range(N - 1):
+                    for j in range(m):
+                        z[b, i, j] = znew[b, i, j]
+            if run_bwd:
+                kr = np.empty((N - 1, n), dtype=x.dtype)
+                for i in range(N - 1):
+                    for j in range(n):
+                        acc = r[b, i, 0] * Kinf[0, j]
+                        for k in range(1, m):
+                            acc += r[b, i, k] * Kinf[k, j]
+                        kr[i, j] = acc
+                for i in range(N - 2, -1, -1):
+                    for j in range(m):
+                        acc = p[b, i + 1, 0] * Bm[0, j]
+                        for k in range(1, n):
+                            acc += p[b, i + 1, k] * Bm[k, j]
+                        t_m[j] = acc + r[b, i, j]
+                    for j in range(m):
+                        acc = t_m[0] * QuuT[0, j]
+                        for k in range(1, m):
+                            acc += t_m[k] * QuuT[k, j]
+                        d[b, i, j] = acc
+                    for j in range(n):
+                        acc = p[b, i + 1, 0] * AmBKtT[0, j]
+                        for k in range(1, n):
+                            acc += p[b, i + 1, k] * AmBKtT[k, j]
+                        p[b, i, j] = (q[b, i, j] + acc) - kr[i, j]
+        return 0
+
+    return fused
+
+
+_STAGE_PRELUDE = 0
+_STAGE_BACKWARD = 1
+_STAGE_ITER = 2
+_STAGE_BY_KERNEL = {
+    "forward": 3, "slack": 4, "dual": 5, "cost": 6, "resid": 7, "backward": 8,
+}
+
+
+class _NumbaBinding:
+    """Prebuilt argument tuple binding one workspace to the jitted kernel."""
+
+    __slots__ = ("state", "ops", "resid", "cache", "dtype")
+
+    def __init__(self, ws: TinyMPCWorkspace) -> None:
+        lead = ws.lead_shape
+        B = lead[0] if lead else 1
+        N, n, m = ws.horizon, ws.state_dim, ws.input_dim
+
+        def as3(a, width):
+            return a if lead else a.reshape((1,) + a.shape)
+
+        self.state = tuple(
+            as3(getattr(ws, name), None)
+            for name in ("x", "u", "q", "r", "p", "d", "v", "vnew",
+                         "z", "znew", "g", "y", "Xref", "Uref"))
+        self.resid = None
+        self.cache = None
+        self.ops = None
+        self.dtype = "float64"
+        self.rebind_residuals(ws)
+
+    def rebind_residuals(self, ws: TinyMPCWorkspace) -> None:
+        lead = ws.lead_shape
+        arrays = []
+        for name in ("primal_residual_state", "dual_residual_state",
+                     "primal_residual_input", "dual_residual_input"):
+            a = getattr(ws, name)
+            arrays.append(a if lead else a.reshape(1))
+        self.resid = (tuple(arrays),
+                      tuple(getattr(ws, name) for name in
+                            ("primal_residual_state", "dual_residual_state",
+                             "primal_residual_input", "dual_residual_input")))
+
+    def residuals_stale(self, ws: TinyMPCWorkspace) -> bool:
+        names = ("primal_residual_state", "dual_residual_state",
+                 "primal_residual_input", "dual_residual_input")
+        return any(getattr(ws, name) is not held
+                   for name, held in zip(names, self.resid[1]))
+
+    def bind_operators(self, ws: TinyMPCWorkspace, cache: LQRCache) -> None:
+        problem = ws.problem
+        contig = lambda a: np.ascontiguousarray(a, dtype=np.float64)
+        self.ops = (contig(cache.neg_KinfT), contig(problem.AT),
+                    contig(problem.BT), contig(problem.B),
+                    contig(cache.Quu_invT), contig(cache.AmBKtT),
+                    contig(cache.Kinf), contig(problem.neg_R),
+                    contig(problem.neg_Q), contig(cache.neg_Pinf),
+                    contig(problem.u_min), contig(problem.u_max),
+                    contig(problem.x_min), contig(problem.x_max),
+                    float(problem.rho))
+        self.cache = cache
+
+
+class NumbaKernels:
+    """Kernel set backed by the jitted fused iteration."""
+
+    name = "numba"
+    supports_float32 = False   # float32 mode is served by the C backend
+
+    def __init__(self, threads: int = 1) -> None:
+        self.threads = threads
+        self._fn = _kernel_source(parallel=threads > 1)
+        if threads > 1:
+            import numba
+            numba.set_num_threads(threads)
+        # Force compilation now so the first solve is not a jit stall and
+        # an unusable toolchain fails at backend selection, not mid-flight.
+        from .problem import default_quadrotor_problem
+        from .cache import compute_cache
+        ws = TinyMPCWorkspace(default_quadrotor_problem())
+        self._call(ws, compute_cache(ws.problem), _STAGE_ITER, 1)
+
+    def _binding(self, ws: TinyMPCWorkspace,
+                 cache: Optional[LQRCache]) -> _NumbaBinding:
+        if getattr(ws, "compute_dtype", "float64") != "float64":
+            raise ValueError(
+                "the numba backend computes in float64 only; "
+                "use the C backend for dtype=float32")
+        binding = getattr(ws, "_numba_kernel_binding", None)
+        if binding is None:
+            binding = _NumbaBinding(ws)
+            ws._numba_kernel_binding = binding
+        if binding.residuals_stale(ws):
+            binding.rebind_residuals(ws)
+        if cache is not None and binding.cache is not cache:
+            binding.bind_operators(ws, cache)
+        elif binding.cache is None:
+            from .cache import compute_cache
+            binding.bind_operators(ws, compute_cache(ws.problem))
+        return binding
+
+    def _call(self, ws, cache, stage, with_residuals) -> None:
+        binding = self._binding(ws, cache)
+        self._fn(*binding.state, *binding.ops, *binding.resid[0],
+                 stage, with_residuals)
+
+    def forward_pass(self, ws, cache) -> None:
+        self._call(ws, cache, _STAGE_BY_KERNEL["forward"], 0)
+
+    def backward_pass(self, ws, cache) -> None:
+        self._call(ws, cache, _STAGE_BY_KERNEL["backward"], 0)
+
+    def update_slack(self, ws) -> None:
+        self._call(ws, None, _STAGE_BY_KERNEL["slack"], 0)
+
+    def update_dual(self, ws) -> None:
+        self._call(ws, None, _STAGE_BY_KERNEL["dual"], 0)
+
+    def update_linear_cost(self, ws, cache) -> None:
+        self._call(ws, cache, _STAGE_BY_KERNEL["cost"], 0)
+
+    def update_residuals(self, ws) -> None:
+        if type(ws.primal_residual_state) is not np.ndarray:
+            ws._reset_residuals()
+        self._call(ws, None, _STAGE_BY_KERNEL["resid"], 0)
+
+    def iteration_prelude(self, ws, cache, with_residuals: bool = True) -> None:
+        if with_residuals and type(ws.primal_residual_state) is not np.ndarray:
+            ws._reset_residuals()
+        self._call(ws, cache, _STAGE_PRELUDE, 1 if with_residuals else 0)
+
+    def admm_iteration(self, ws, cache, with_residuals: bool = True) -> None:
+        if with_residuals and type(ws.primal_residual_state) is not np.ndarray:
+            ws._reset_residuals()
+        self._call(ws, cache, _STAGE_ITER, 1 if with_residuals else 0)
+
+
+def load_numba_backend(threads: int = 1) -> NumbaKernels:
+    return NumbaKernels(threads=threads)

@@ -46,6 +46,7 @@ __all__ = [
     "update_linear_cost",
     "update_residuals",
     "compute_residuals",
+    "iteration_prelude",
     "admm_iteration",
     "build_iteration_program",
     "kernel_flop_breakdown",
@@ -202,7 +203,12 @@ def backward_pass(ws: TinyMPCWorkspace, cache: LQRCache) -> None:
     which double-checks at warmup).  The scalar layout always takes the
     per-step fallback: its naive reference is a GEMV, and GEMV-vs-GEMM
     agreement is value-dependent under FMA, so the hoist cannot honor the
-    bit-for-bit contract there.
+    bit-for-bit contract there.  (The compiled backends re-enable the
+    scalar hoist: their loop order is explicit and FMA contraction is off,
+    so hoisting per-step products out of the recursion is literally the
+    same instruction sequence — the probe-soundness problem only exists
+    when BLAS picks the kernel.  It must stay disabled on *this* numpy
+    path.)
     """
     s = ws.scratch
     B = ws.problem.B
@@ -266,12 +272,22 @@ def update_dual(ws: TinyMPCWorkspace) -> None:
     """Scaled dual ascent step.
 
     ``update_dual_1``: y += u - znew ; g += x - vnew
+
+    This kernel is pure ufunc traffic, so at scalar shape (36 + 120
+    elements) per-call dispatch overhead was a measurable fraction of its
+    cost — enough to bench *slower* than the naive expression (0.87x in
+    the PR 6 baseline).  The workspace pair-allocates (x, u), (vnew, znew),
+    and (g, y) from flat blocks (see ``TinyMPCWorkspace.__post_init__``),
+    so both updates run as a single subtract and a single in-place add over
+    each 1-D block — two ufunc dispatches instead of four.  The per-element
+    arithmetic is exactly the naive form's (the updates are independent
+    elementwise ops, so fusing their iteration spaces cannot change any
+    bit), and the differences still land in ``state_tmp``/``input_tmp``,
+    which view the scratch half of the fused operand.
     """
-    s = ws.scratch
-    np.subtract(ws.u, ws.znew, s.input_tmp)
-    np.add(ws.y, s.input_tmp, ws.y)
-    np.subtract(ws.x, ws.vnew, s.state_tmp)
-    np.add(ws.g, s.state_tmp, ws.g)
+    xu, vz, tmp, gy = ws.scratch.dual_fused
+    np.subtract(xu, vz, tmp)
+    gy += tmp
 
 
 def update_linear_cost(ws: TinyMPCWorkspace, cache: LQRCache) -> None:
@@ -359,13 +375,17 @@ def compute_residuals(ws: TinyMPCWorkspace) -> Dict[str, float]:
             for name, value in ws.residuals().items()}
 
 
-def admm_iteration(ws: TinyMPCWorkspace, cache: LQRCache,
-                   with_residuals: bool = True) -> None:
-    """One full ADMM iteration, in the exact order the solver loops run it.
+def iteration_prelude(ws: TinyMPCWorkspace, cache: LQRCache,
+                      with_residuals: bool = True) -> None:
+    """Everything in one ADMM iteration *except* the backward pass.
 
-    This is the unit the perf-regression harness times and allocation-checks
-    (``benchmarks/test_kernel_hotpath.py``): after the first call builds the
-    workspace scratch, steady-state calls allocate zero numpy buffers.
+    Forward pass, slack, dual, linear cost, optionally the residual
+    reductions, then the v/z slack-iterate copy — exactly the prefix both
+    solver loops run before checking termination.  Factoring it out gives
+    compiled backends a single dispatch point that fuses the whole prefix
+    into one foreign call; this default implementation resolves each kernel
+    through the module attributes, so it composes with the naive swap
+    (``naive.use_naive_kernels``) and stays the numpy fast path otherwise.
     """
     forward_pass(ws, cache)
     update_slack(ws)
@@ -376,7 +396,28 @@ def admm_iteration(ws: TinyMPCWorkspace, cache: LQRCache,
     # Keep previous slack iterates for the next dual residual.
     ws.v[...] = ws.vnew
     ws.z[...] = ws.znew
+
+
+def admm_iteration(ws: TinyMPCWorkspace, cache: LQRCache,
+                   with_residuals: bool = True) -> None:
+    """One full ADMM iteration, in the exact order the solver loops run it.
+
+    This is the unit the perf-regression harness times and allocation-checks
+    (``benchmarks/test_kernel_hotpath.py``): after the first call builds the
+    workspace scratch, steady-state calls allocate zero numpy buffers.
+    Dispatches through the module attributes so both the naive swap and the
+    compiled backends (:mod:`repro.tinympc.compiled`) redirect it.
+    """
+    iteration_prelude(ws, cache, with_residuals)
     backward_pass(ws, cache)
+
+
+# Stable references to the numpy dispatching forms, used by the naive swap
+# to neutralize an installed compiled backend for the duration of its
+# context (a compiled ``iteration_prelude`` would otherwise bypass the
+# swapped per-kernel attributes).
+_DEFAULT_ITERATION_PRELUDE = iteration_prelude
+_DEFAULT_ADMM_ITERATION = admm_iteration
 
 
 # ---------------------------------------------------------------------------

@@ -30,6 +30,7 @@ from typing import Dict
 
 import numpy as np
 
+from . import kernels
 from .cache import LQRCache
 from .workspace import TinyMPCWorkspace
 
@@ -124,6 +125,13 @@ _SWAPPED = (
     ("update_linear_cost", update_linear_cost_naive),
     ("update_residuals", update_residuals_naive),
     ("compute_residuals", compute_residuals_naive),
+    # The fused dispatch points are pinned back to their default
+    # (module-attr-resolving) forms so the swapped per-kernel attributes
+    # above take effect even while a compiled backend is installed
+    # (repro.tinympc.compiled replaces iteration_prelude/admm_iteration
+    # with fused foreign calls that would bypass this table).
+    ("iteration_prelude", kernels._DEFAULT_ITERATION_PRELUDE),
+    ("admm_iteration", kernels._DEFAULT_ADMM_ITERATION),
 )
 
 
@@ -134,8 +142,6 @@ def use_naive_kernels():
     Used by the benchmark harness to measure the refactor against "current
     main" on identical workloads.  Not thread-safe (module-level swap).
     """
-    from . import kernels
-
     saved = [(name, getattr(kernels, name)) for name, _ in _SWAPPED]
     try:
         for name, replacement in _SWAPPED:

@@ -24,19 +24,49 @@ __all__ = ["SolverSettings", "TinyMPCSolution", "TinyMPCSolver"]
 
 @dataclass
 class SolverSettings:
-    """Iteration and termination settings (defaults follow TinyMPC)."""
+    """Iteration and termination settings (defaults follow TinyMPC).
+
+    ``dtype`` selects the compute precision of the ADMM iteration:
+    ``"float64"`` (default) everywhere, or ``"float32"`` on a compiled
+    kernel backend that supports it (the C backend's structure-of-arrays
+    float32 mode — see ``docs/perf.md``).  Workspace storage stays float64
+    either way; the numpy kernels ignore the field, so requesting float32
+    without a capable backend installed is rejected at solver construction.
+    """
 
     max_iterations: int = 10
     abs_primal_tolerance: float = 1e-3
     abs_dual_tolerance: float = 1e-3
     check_termination_every: int = 1
     warm_start: bool = True
+    dtype: str = "float64"
 
     def __post_init__(self) -> None:
         if self.max_iterations < 1:
             raise ValueError("max_iterations must be at least 1")
         if self.check_termination_every < 1:
             raise ValueError("check_termination_every must be at least 1")
+        if self.dtype not in ("float64", "float32"):
+            raise ValueError("dtype must be 'float64' or 'float32'")
+
+
+def _apply_compute_dtype(workspace, settings: "SolverSettings") -> None:
+    """Stamp the settings' compute dtype onto a solver workspace.
+
+    Rejects ``float32`` unless the active kernel backend can actually honor
+    it — silently computing in float64 while the caller asked for float32
+    would misreport every downstream accuracy/performance comparison.
+    """
+    if settings.dtype != "float64":
+        from . import compiled
+        if not compiled.active_supports_float32():
+            raise ValueError(
+                "SolverSettings(dtype='float32') requires a float32-capable "
+                "compiled kernel backend; active backend is '{}' (enable one "
+                "with REPRO_KERNEL_BACKEND=c or "
+                "repro.tinympc.use_compiled_kernels('c'))".format(
+                    compiled.active_backend()))
+    workspace.compute_dtype = settings.dtype
 
 
 @dataclass
@@ -70,6 +100,7 @@ class TinyMPCSolver:
         self.settings = settings or SolverSettings()
         self.cache = cache or compute_cache(problem)
         self.workspace = TinyMPCWorkspace(problem)
+        _apply_compute_dtype(self.workspace, self.settings)
         self._has_previous_solution = False
         self.total_iterations = 0
         self.total_solves = 0
@@ -114,19 +145,16 @@ class TinyMPCSolver:
         converged = False
         # Kernels are dispatched through the module so the benchmark
         # harness can swap in the pre-refactor reference implementations
-        # (repro.tinympc.naive.use_naive_kernels).
+        # (repro.tinympc.naive.use_naive_kernels) and the compiled backends
+        # (repro.tinympc.compiled) can fuse the iteration prefix — forward
+        # pass through residuals plus the v/z slack-iterate copy — into a
+        # single call.
         for iteration in range(1, settings.max_iterations + 1):
             iterations = iteration
-            kernels.forward_pass(ws, self.cache)
-            kernels.update_slack(ws)
-            kernels.update_dual(ws)
-            kernels.update_linear_cost(ws, self.cache)
-            if iteration % settings.check_termination_every == 0:
-                kernels.update_residuals(ws)
+            check = iteration % settings.check_termination_every == 0
+            kernels.iteration_prelude(ws, self.cache, with_residuals=check)
+            if check:
                 converged = self._is_converged()
-            # Keep previous slack iterates for the next dual residual.
-            ws.v[...] = ws.vnew
-            ws.z[...] = ws.znew
             if converged:
                 break
             kernels.backward_pass(ws, self.cache)

@@ -128,9 +128,21 @@ class SolveScratch:
         self.vec_m2 = np.empty(lead + (m,))
         self.vec_m3 = np.empty(lead + (m,))
         # Contiguous whole-horizon scratch for the elementwise/reduction
-        # kernels (shaped like the state and input trajectories).
-        self.state_tmp = np.empty(lead + (N, n))
-        self.input_tmp = np.empty(lead + (N - 1, m))
+        # kernels, pair-allocated like the workspace's (state, input) buffer
+        # pairs (state part first) so ``update_dual`` can difference a whole
+        # pair in one ufunc call.
+        state_size = ws.x.size
+        self._tmp_flat = np.empty(state_size + ws.u.size)
+        self.state_tmp = self._tmp_flat[:state_size].reshape(lead + (N, n))
+        self.input_tmp = self._tmp_flat[state_size:].reshape(
+            lead + (N - 1, m))
+        # Prebound fused operands for update_dual ([x|u], [vnew|znew],
+        # [state_tmp|input_tmp], [g|y]): the kernel is pure ufunc traffic, so
+        # at scalar shape per-call dispatch overhead dominated enough to
+        # bench slower than the naive expression (0.87x in the PR 6
+        # baseline).  Two flat-block ufunc calls replace four.
+        self.dual_fused = (ws._xu_flat, ws._vz_flat, self._tmp_flat,
+                           ws._gy_flat)
         # Box bounds materialized at full operand shape: numpy's ufunc
         # machinery spins up a ~buffer-sized traced temporary when a bound
         # has to broadcast against a batched operand, and a same-shape bound
@@ -184,24 +196,48 @@ class TinyMPCWorkspace:
     # lazily-built kernel scratch arena (not part of the solver state)
     _scratch: Optional[SolveScratch] = field(init=False, default=None,
                                              repr=False)
+    # Requested compute precision for compiled kernel backends.  The float64
+    # arrays above stay the canonical storage either way; a float32-capable
+    # backend (repro.tinympc.compiled_c) rounds state into a float32 shadow
+    # block per call and widens results back, so warm starts, freeze/restore
+    # masking, and slot export/import never see a second dtype.  The numpy
+    # kernels ignore this field (they always compute in float64).
+    compute_dtype: str = field(init=False, default="float64", repr=False)
 
     def __post_init__(self) -> None:
         n = self.problem.state_dim
         m = self.problem.input_dim
         N = self.problem.horizon
         lead = self.lead_shape
-        self.x = np.zeros(lead + (N, n))
-        self.u = np.zeros(lead + (N - 1, m))
+        batch_elems = 1
+        for dim in lead:
+            batch_elems *= dim
+        state_size = batch_elems * N * n
+        input_size = batch_elems * (N - 1) * m
+
+        def paired():
+            # One flat block holding a (state, input) buffer pair: the state
+            # trajectory first, then the input trajectory, each a contiguous
+            # reshape view.  The dual-ascent kernel (``update_dual``) touches
+            # exactly three such pairs elementwise — y += u - znew and
+            # g += x - vnew — so pairing lets it run both updates as a single
+            # ufunc call over each flat block (half the dispatch overhead,
+            # which dominates this kernel at scalar shape) while every named
+            # buffer keeps its public shape and C-contiguity.
+            flat = np.zeros(state_size + input_size)
+            state = flat[:state_size].reshape(lead + (N, n))
+            inputs = flat[state_size:].reshape(lead + (N - 1, m))
+            return flat, state, inputs
+
+        self._xu_flat, self.x, self.u = paired()
+        self._vz_flat, self.vnew, self.znew = paired()
+        self._gy_flat, self.g, self.y = paired()
         self.q = np.zeros(lead + (N, n))
         self.r = np.zeros(lead + (N - 1, m))
         self.p = np.zeros(lead + (N, n))
         self.d = np.zeros(lead + (N - 1, m))
         self.v = np.zeros(lead + (N, n))
-        self.vnew = np.zeros(lead + (N, n))
         self.z = np.zeros(lead + (N - 1, m))
-        self.znew = np.zeros(lead + (N - 1, m))
-        self.g = np.zeros(lead + (N, n))
-        self.y = np.zeros(lead + (N - 1, m))
         self.Xref = np.zeros(lead + (N, n))
         self.Uref = np.zeros(lead + (N - 1, m))
         self._reset_residuals()

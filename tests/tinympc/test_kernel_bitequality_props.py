@@ -14,6 +14,7 @@ order.
 """
 
 import numpy as np
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -24,9 +25,11 @@ from repro.tinympc import (
     TinyMPCSolver,
     TinyMPCWorkspace,
     compute_cache,
+    use_compiled_kernels,
     use_naive_kernels,
 )
 from repro.tinympc import kernels
+from repro.tinympc.compiled import resolve_backend
 from repro.tinympc.workspace import RESIDUAL_FIELDS, WORKSPACE_BUFFERS
 
 # Each kernel is looked up on the module *at call time*, so running the
@@ -164,3 +167,137 @@ class TestKernelBitEquality:
         # wrote through them rather than allocating temporaries.
         np.testing.assert_array_equal(input_tmp, ws.u - ws.znew)
         np.testing.assert_array_equal(state_tmp, ws.x - ws.vnew)
+
+
+# ---------------------------------------------------------------------------
+# Compiled backends vs the numpy fast path
+# ---------------------------------------------------------------------------
+
+# The compiled backends are shape-specialized (the C backend builds one
+# shared library per (n, m, N)), so the sweep runs hypothesis over *data*
+# (seeds drive the dynamics, costs, and workspace contents) on a FIXED
+# shape list — a full hypothesis shape sweep would trigger an unbounded
+# number of compiles.  The list spans the corner shapes: minimum dims,
+# m == 1 (degenerate GEMV), mid-size, and the quadrotor shape the backends
+# pre-build.
+COMPILED_SHAPES = ((2, 1, 3), (4, 2, 5), (6, 3, 8), (12, 4, 10))
+
+# Tolerance policy (documented contract, see docs/perf.md): elementwise and
+# reduction kernels are bit-for-bit — their per-element operation order is
+# identical to numpy's.  Matvec-based kernels accumulate in axpy order,
+# which per-lane matches a sequential dot product but not necessarily
+# BLAS's blocking, so they carry a float64 relative tolerance instead.
+EXACT_COMPILED_KERNELS = frozenset(
+    ["update_slack", "update_dual", "update_residuals"])
+COMPILED_F64_RTOL = 1e-11
+COMPILED_F64_ATOL = 1e-13
+# float32 mode narrows state per call and widens results; one iteration of
+# single-precision arithmetic against the float64 reference.
+COMPILED_F32_RTOL = 1e-3
+COMPILED_F32_ATOL = 1e-5
+
+
+def _compiled_backend_or_skip(name="auto"):
+    impl, resolved = resolve_backend(name)
+    if impl is None:
+        pytest.skip("no compiled kernel backend available")
+    return impl, resolved
+
+
+def _assert_compiled_close(fast, reference, label, rtol, atol, exact):
+    for name in WORKSPACE_BUFFERS:
+        a, b = getattr(fast, name), getattr(reference, name)
+        if exact:
+            np.testing.assert_array_equal(
+                a, b, err_msg="{}: buffer {}".format(label, name))
+        else:
+            np.testing.assert_allclose(
+                a, b, rtol=rtol, atol=atol,
+                err_msg="{}: buffer {}".format(label, name))
+    for name in RESIDUAL_FIELDS:
+        a = np.asarray(getattr(fast, name))
+        b = np.asarray(getattr(reference, name))
+        if exact:
+            np.testing.assert_array_equal(
+                a, b, err_msg="{}: residual {}".format(label, name))
+        else:
+            np.testing.assert_allclose(
+                a, b, rtol=rtol, atol=atol,
+                err_msg="{}: residual {}".format(label, name))
+
+
+class TestCompiledBackendEquivalence:
+    @pytest.mark.parametrize("batch", [None, 3])
+    @pytest.mark.parametrize("shape", COMPILED_SHAPES,
+                             ids=lambda s: "x".join(map(str, s)))
+    @settings(max_examples=5, deadline=None)
+    @given(seed=st.integers(0, 2**16))
+    def test_kernels_match_numpy_fast_path(self, shape, batch, seed):
+        """Per-kernel: the compiled backend reproduces the numpy fast path
+        under the documented tolerance policy, scalar and batched."""
+        impl, resolved = _compiled_backend_or_skip()
+        n, m, horizon = shape
+        problem = make_problem(n, m, horizon, seed)
+        cache = compute_cache(problem)
+
+        def build(seed_offset=4):
+            ws = (TinyMPCWorkspace(problem) if batch is None
+                  else BatchTinyMPCWorkspace(problem, batch=batch))
+            return _randomized(ws, seed + seed_offset)
+
+        for label, call in KERNEL_CALLS:
+            fast, reference = build(), build()
+            with use_compiled_kernels(resolved):
+                call(fast, cache)
+            call(reference, cache)
+            _assert_compiled_close(
+                fast, reference, "{} [{}]".format(label, resolved),
+                COMPILED_F64_RTOL, COMPILED_F64_ATOL,
+                exact=label in EXACT_COMPILED_KERNELS)
+
+    @pytest.mark.parametrize("shape", COMPILED_SHAPES,
+                             ids=lambda s: "x".join(map(str, s)))
+    @settings(max_examples=4, deadline=None)
+    @given(seed=st.integers(0, 2**16))
+    def test_fused_iteration_matches_numpy_fast_path(self, shape, seed):
+        """The fused full iteration (the call the solvers actually make)
+        stays within the matvec tolerance end to end."""
+        impl, resolved = _compiled_backend_or_skip()
+        n, m, horizon = shape
+        problem = make_problem(n, m, horizon, seed)
+        cache = compute_cache(problem)
+        fast = _randomized(TinyMPCWorkspace(problem), seed + 5)
+        reference = _randomized(TinyMPCWorkspace(problem), seed + 5)
+        with use_compiled_kernels(resolved):
+            for _ in range(3):
+                kernels.admm_iteration(fast, cache)
+        for _ in range(3):
+            kernels.admm_iteration(reference, cache)
+        _assert_compiled_close(
+            fast, reference, "admm_iteration [{}]".format(resolved),
+            # Three chained iterations compound the per-matvec differences.
+            rtol=1e-9, atol=1e-11, exact=False)
+
+    @pytest.mark.parametrize("shape", COMPILED_SHAPES,
+                             ids=lambda s: "x".join(map(str, s)))
+    @settings(max_examples=3, deadline=None)
+    @given(seed=st.integers(0, 2**16))
+    def test_float32_mode_tracks_float64(self, shape, seed):
+        """Opt-in float32 compute stays within single-precision distance of
+        the float64 numpy fast path (and leaves storage float64)."""
+        impl, resolved = _compiled_backend_or_skip()
+        if not getattr(impl, "supports_float32", False):
+            pytest.skip("{} backend has no float32 mode".format(resolved))
+        n, m, horizon = shape
+        problem = make_problem(n, m, horizon, seed)
+        cache = compute_cache(problem)
+        fast = _randomized(TinyMPCWorkspace(problem), seed + 6)
+        reference = _randomized(TinyMPCWorkspace(problem), seed + 6)
+        fast.compute_dtype = "float32"
+        with use_compiled_kernels(resolved):
+            kernels.admm_iteration(fast, cache)
+        kernels.admm_iteration(reference, cache)
+        assert fast.x.dtype == np.float64  # storage stays canonical
+        _assert_compiled_close(
+            fast, reference, "admm_iteration f32 [{}]".format(resolved),
+            COMPILED_F32_RTOL, COMPILED_F32_ATOL, exact=False)
