@@ -1,0 +1,152 @@
+#!/usr/bin/env python
+"""CI chaos smoke: SIGKILL a campaign mid-run, resume, diff against clean.
+
+One self-contained end-to-end check of the durability layer
+(``docs/robustness.md``), small enough to run on every push:
+
+1. run a sharded campaign to completion — the uninterrupted reference;
+2. run the same campaign in a subprocess with a worker-SIGKILL fault
+   armed (``REPRO_CHAOS``), and SIGKILL the *whole subprocess* once the
+   journal shows real partial progress;
+3. resume from the checkpoint directory;
+4. diff the aggregate JSON (rows and per-episode results) byte-for-byte
+   against the reference.
+
+Exit status 0 means crash == no-crash held; anything else fails the job.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import shutil
+import subprocess
+import sys
+import tempfile
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.fleet import CampaignSpec, run_campaign          # noqa: E402
+from repro.fleet.durable import journal_path, result_to_dict  # noqa: E402
+
+_DRIVER = """\
+import json, sys
+sys.path.insert(0, sys.argv[3])
+from repro.fleet import CampaignSpec, run_campaign
+spec = CampaignSpec.from_dict(json.loads(sys.argv[1]))
+run_campaign(spec, workers={workers}, checkpoint_dir=sys.argv[2],
+             lease_size={lease})
+print("COMPLETED")
+"""
+
+
+def _find_journal(checkpoint: str):
+    if not os.path.isdir(checkpoint):
+        return None
+    for entry in os.listdir(checkpoint):
+        path = journal_path(os.path.join(checkpoint, entry))
+        if os.path.exists(path):
+            return path
+    return None
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="SIGKILL a campaign mid-run, resume, diff vs clean.")
+    parser.add_argument("--seeds", type=int, default=16)
+    parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument("--lease-size", type=int, default=4)
+    parser.add_argument("--kill-episode", type=int, default=11,
+                        help="episode whose build SIGKILLs its worker")
+    parser.add_argument("--min-commits", type=int, default=2,
+                        help="journal commits to wait for before killing "
+                             "the campaign process")
+    parser.add_argument("--output", default=None,
+                        help="write a JSON summary here")
+    args = parser.parse_args(argv)
+
+    spec = CampaignSpec(name="chaos-smoke", difficulties=("easy",),
+                        seeds=range(args.seeds),
+                        frequencies_mhz=(100.0, 250.0))
+    workdir = tempfile.mkdtemp(prefix="chaos-smoke-")
+    try:
+        print("== reference run ({} episodes) ==".format(args.seeds * 2))
+        reference = run_campaign(spec, workers=args.workers,
+                                 checkpoint_dir=os.path.join(workdir, "ref"),
+                                 lease_size=args.lease_size)
+        reference_rows = json.dumps(reference.rows(), sort_keys=True)
+        reference_results = [result_to_dict(r) for r in reference.results]
+
+        print("== chaos run: worker SIGKILL armed, then campaign SIGKILL ==")
+        checkpoint = os.path.join(workdir, "chaos")
+        driver = os.path.join(workdir, "driver.py")
+        with open(driver, "w") as handle:
+            handle.write(_DRIVER.format(workers=args.workers,
+                                        lease=args.lease_size))
+        env = dict(os.environ)
+        env["REPRO_CHAOS"] = json.dumps({
+            "episode": args.kill_episode, "mode": "kill", "max_triggers": 1,
+            "state": os.path.join(workdir, "chaos.state")})
+        src = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                           "..", "src")
+        process = subprocess.Popen(
+            [sys.executable, driver, json.dumps(spec.to_dict()),
+             checkpoint, src],
+            env=env, stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+            text=True)
+        deadline = time.monotonic() + 300
+        journal = None
+        while time.monotonic() < deadline and process.poll() is None:
+            journal = journal or _find_journal(checkpoint)
+            if journal is not None and os.path.exists(journal):
+                with open(journal, "rb") as handle:
+                    if handle.read().count(b'"t":"commit"') \
+                            >= args.min_commits:
+                        process.kill()
+                        break
+            time.sleep(0.02)
+        process.wait(timeout=300)
+        stdout = process.stdout.read()
+        process.stdout.close()
+        process.stderr.close()
+        interrupted = "COMPLETED" not in stdout
+        print("campaign process {}".format(
+            "SIGKILL'd mid-run" if interrupted else
+            "finished before the kill landed (degrades to pure replay)"))
+
+        print("== resume from {} ==".format(checkpoint))
+        resumed = run_campaign(spec, workers=args.workers,
+                               checkpoint_dir=checkpoint,
+                               lease_size=args.lease_size)
+        resumed_rows = json.dumps(resumed.rows(), sort_keys=True)
+        resumed_results = [result_to_dict(r) for r in resumed.results]
+        print("resume report:", resumed.report.as_row())
+
+        rows_equal = resumed_rows == reference_rows
+        results_equal = resumed_results == reference_results
+        summary = {
+            "episodes": len(reference.results),
+            "interrupted": interrupted,
+            "replayed_chunks": resumed.report.replayed_chunks,
+            "fresh_chunks": resumed.report.fresh_chunks,
+            "rows_byte_identical": rows_equal,
+            "results_identical": results_equal,
+        }
+        if args.output:
+            with open(args.output, "w") as handle:
+                json.dump(summary, handle, indent=2, sort_keys=True)
+        print(json.dumps(summary, indent=2, sort_keys=True))
+        if rows_equal and results_equal:
+            print("chaos smoke ok: crash == no-crash")
+            return 0
+        print("chaos smoke FAILED: resumed output diverged from reference",
+              file=sys.stderr)
+        return 1
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

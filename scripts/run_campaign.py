@@ -14,6 +14,15 @@ and prints per-cell aggregate rows.  Examples::
         --difficulties easy,medium --seeds 8 --frequencies 100,250 \\
         --workers 4 --output campaign.json
 
+With ``--checkpoint-dir`` the campaign runs on the durable, supervised
+path (``docs/robustness.md``): progress is journaled to a
+content-addressed run directory, worker death and poisoned episodes are
+retried/quarantined instead of aborting, and Ctrl-C exits with status 130
+after flushing a final checkpoint plus a ``resume with --resume <dir>``
+hint.  ``--resume <dir>`` picks the run back up; completed chunks replay
+from the journal, so an interrupted-then-resumed campaign produces
+byte-identical rows to an uninterrupted one.
+
 Exit status is non-zero when the campaign produced no aggregate rows, so
 CI smoke jobs can assert liveness with a plain shell invocation.
 """
@@ -29,7 +38,14 @@ import time
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
 from repro.experiments import format_rows                    # noqa: E402
-from repro.fleet import CampaignSpec, run_campaign           # noqa: E402
+from repro.fleet import (CampaignInterrupted, CampaignSpec,  # noqa: E402
+                         RetryPolicy, run_campaign)
+from repro.fleet.durable import (DEFAULT_LEASE_SIZE,         # noqa: E402
+                                 atomic_write_json)
+
+# Distinct exit status for "interrupted but resumable" (mirrors the shell
+# convention for SIGINT: 128 + 2).
+EXIT_INTERRUPTED = 130
 
 
 def _csv(value: str):
@@ -87,6 +103,23 @@ def build_parser() -> argparse.ArgumentParser:
                         help="write campaign JSON (spec, rows, stats) here")
     parser.add_argument("--quiet", action="store_true",
                         help="suppress the table on stdout")
+    parser.add_argument("--checkpoint-dir", default=None,
+                        help="journal progress under this directory and run "
+                             "supervised workers (retry/quarantine); "
+                             "interrupted runs can be resumed")
+    parser.add_argument("--resume", default=None, metavar="RUN_DIR",
+                        help="resume a checkpointed run directory (as "
+                             "printed on interrupt); implies the same "
+                             "campaign flags as the original invocation")
+    parser.add_argument("--max-retries", type=int, default=3,
+                        help="attempts per episode chunk before bisection/"
+                             "quarantine (checkpointed runs only)")
+    parser.add_argument("--episode-timeout", type=float, default=None,
+                        help="per-episode timeout in seconds; a chunk gets "
+                             "timeout x episodes (checkpointed runs only)")
+    parser.add_argument("--lease-size", type=int, default=DEFAULT_LEASE_SIZE,
+                        help="episodes per supervised chunk (the atomic "
+                             "unit of checkpointing)")
     return parser
 
 
@@ -109,10 +142,41 @@ def main(argv=None) -> int:
     )
     if not args.quiet:
         print(spec.describe())
+    checkpoint_dir = args.resume or args.checkpoint_dir
+    retry_policy = None
+    if checkpoint_dir is not None:
+        retry_policy = RetryPolicy(max_attempts=args.max_retries,
+                                   episode_timeout=args.episode_timeout)
     start = time.perf_counter()
-    outcome = run_campaign(spec, workers=args.workers,
-                           batching=not args.no_batching,
-                           max_batch=args.max_batch)
+    try:
+        outcome = run_campaign(spec, workers=args.workers,
+                               batching=not args.no_batching,
+                               max_batch=args.max_batch,
+                               checkpoint_dir=checkpoint_dir,
+                               retry_policy=retry_policy,
+                               lease_size=args.lease_size)
+    except CampaignInterrupted as interrupt:
+        # Progress is journaled; flush a final checkpoint of the partial
+        # per-cell rows and tell the user how to pick the run back up.
+        partial_path = os.path.join(interrupt.run_dir, "partial.json")
+        atomic_write_json(partial_path, {
+            "campaign": spec.to_dict(),
+            "completed_episodes": interrupt.completed,
+            "total_episodes": interrupt.total,
+            "rows": interrupt.partial_rows,
+        })
+        print("\ninterrupted at {}/{} episodes; partial rows in {}".format(
+            interrupt.completed, interrupt.total, partial_path),
+            file=sys.stderr)
+        print("resume with --resume {}".format(interrupt.run_dir),
+              file=sys.stderr)
+        return EXIT_INTERRUPTED
+    except KeyboardInterrupt:
+        # No checkpointing armed: nothing durable to flush, but still exit
+        # cleanly instead of dumping a traceback.
+        print("\ninterrupted (no --checkpoint-dir: progress not saved)",
+              file=sys.stderr)
+        return EXIT_INTERRUPTED
     elapsed = time.perf_counter() - start
     rows = outcome.rows()
 
@@ -135,6 +199,9 @@ def main(argv=None) -> int:
             "rows": rows,
             "overall": outcome.overall(),
         }
+        if outcome.run_dir is not None:
+            payload["run_dir"] = outcome.run_dir
+            payload["supervisor"] = outcome.report.as_row()
         with open(args.output, "w") as handle:
             json.dump(payload, handle, indent=2, sort_keys=True)
         if not args.quiet:

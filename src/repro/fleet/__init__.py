@@ -13,7 +13,12 @@ settings) into batched solver work:
 * :mod:`repro.fleet.workers` — :func:`run_campaign`, in-process or sharded
   across processes with deterministic partitioning;
 * :mod:`repro.fleet.aggregate` — streaming per-cell statistics with bounded
-  memory.
+  memory;
+* :mod:`repro.fleet.durable` / :mod:`repro.fleet.supervisor` — the
+  fault-tolerant path behind ``run_campaign(..., checkpoint_dir=...)``:
+  checksummed completion journal, exact resume, supervised workers with
+  retry/bisection/quarantine (see ``docs/robustness.md``);
+* :mod:`repro.fleet.chaos` — fault injection for the chaos tests.
 
 Quick example::
 
@@ -35,9 +40,16 @@ from .aggregate import (
 from .campaign import (
     CELL_AXES,
     RECOVERY_CELL_AXES,
+    SPEC_SCHEMA_VERSION,
     CampaignSpec,
     EpisodeFactory,
     EpisodeSpec,
+)
+from .durable import (
+    CampaignInterrupted,
+    EpisodeFailure,
+    ExecutionPlan,
+    RunJournal,
 )
 from .scheduler import (
     FleetEpisode,
@@ -47,6 +59,7 @@ from .scheduler import (
     compatibility_key,
     solver_pool,
 )
+from .supervisor import RetryPolicy, SupervisorReport
 from .workers import CampaignResult, run_campaign, shard_indices
 
 __all__ = [
@@ -56,9 +69,16 @@ __all__ = [
     "ReservoirSamples",
     "CELL_AXES",
     "RECOVERY_CELL_AXES",
+    "SPEC_SCHEMA_VERSION",
     "CampaignSpec",
     "EpisodeFactory",
     "EpisodeSpec",
+    "CampaignInterrupted",
+    "EpisodeFailure",
+    "ExecutionPlan",
+    "RunJournal",
+    "RetryPolicy",
+    "SupervisorReport",
     "FleetEpisode",
     "FleetScheduler",
     "SchedulerStats",

@@ -73,6 +73,27 @@ class ReservoirSamples:
             return float("nan")
         return float(np.percentile(self.values, q))
 
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe rendering; exact inverse of :meth:`from_dict`.
+
+        The durable campaign journal (:mod:`repro.fleet.durable`) persists
+        per-chunk aggregates through this pair, so the retained samples must
+        round-trip bit-for-bit (JSON floats serialize via ``repr`` and parse
+        back to the identical double).
+        """
+        return {"cap": self.cap, "stride": self.stride,
+                "values": list(self.values), "skip": self._skip,
+                "count": self.count}
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "ReservoirSamples":
+        samples = cls(cap=int(payload["cap"]))
+        samples.stride = int(payload["stride"])
+        samples.values = [float(v) for v in payload["values"]]
+        samples._skip = int(payload["skip"])
+        samples.count = int(payload["count"])
+        return samples
+
     def merge(self, other: "ReservoirSamples") -> "ReservoirSamples":
         """Fold another reservoir in, aligning strides before concatenating."""
         mine, theirs = self, other
@@ -147,6 +168,40 @@ class CellAggregate:
         self.total_powers.merge(other.total_powers)
         self.solve_times.merge(other.solve_times)
         return self
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "key": list(self.key), "sample_cap": self.sample_cap,
+            "episodes": self.episodes, "successes": self.successes,
+            "crashes": self.crashes,
+            "sum_actuation_power": self.sum_actuation_power,
+            "sum_soc_power": self.sum_soc_power,
+            "sum_total_power": self.sum_total_power,
+            "sum_flight_time": self.sum_flight_time,
+            "sum_iterations": self.sum_iterations,
+            "solve_count": self.solve_count,
+            "tracking_errors": self.tracking_errors.to_dict(),
+            "total_powers": self.total_powers.to_dict(),
+            "solve_times": self.solve_times.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "CellAggregate":
+        return cls(
+            key=tuple(payload["key"]), sample_cap=int(payload["sample_cap"]),
+            episodes=int(payload["episodes"]),
+            successes=int(payload["successes"]),
+            crashes=int(payload["crashes"]),
+            sum_actuation_power=float(payload["sum_actuation_power"]),
+            sum_soc_power=float(payload["sum_soc_power"]),
+            sum_total_power=float(payload["sum_total_power"]),
+            sum_flight_time=float(payload["sum_flight_time"]),
+            sum_iterations=int(payload["sum_iterations"]),
+            solve_count=int(payload["solve_count"]),
+            tracking_errors=ReservoirSamples.from_dict(
+                payload["tracking_errors"]),
+            total_powers=ReservoirSamples.from_dict(payload["total_powers"]),
+            solve_times=ReservoirSamples.from_dict(payload["solve_times"]))
 
     @property
     def success_rate(self) -> float:
@@ -231,6 +286,35 @@ class RecoveryCellAggregate:
         self.max_deviations.merge(other.max_deviations)
         return self
 
+    def to_dict(self) -> Dict[str, object]:
+        # ``min_unrecovered_magnitude`` idles at +inf, which RFC 8259 JSON
+        # cannot carry — encode it as None and restore on load.
+        return {
+            "key": list(self.key), "sample_cap": self.sample_cap,
+            "episodes": self.episodes, "recoveries": self.recoveries,
+            "max_recovered_magnitude": self.max_recovered_magnitude,
+            "min_unrecovered_magnitude": (
+                self.min_unrecovered_magnitude
+                if np.isfinite(self.min_unrecovered_magnitude) else None),
+            "times_to_recovery": self.times_to_recovery.to_dict(),
+            "max_deviations": self.max_deviations.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "RecoveryCellAggregate":
+        unrecovered = payload["min_unrecovered_magnitude"]
+        return cls(
+            key=tuple(payload["key"]), sample_cap=int(payload["sample_cap"]),
+            episodes=int(payload["episodes"]),
+            recoveries=int(payload["recoveries"]),
+            max_recovered_magnitude=float(payload["max_recovered_magnitude"]),
+            min_unrecovered_magnitude=(float("inf") if unrecovered is None
+                                       else float(unrecovered)),
+            times_to_recovery=ReservoirSamples.from_dict(
+                payload["times_to_recovery"]),
+            max_deviations=ReservoirSamples.from_dict(
+                payload["max_deviations"]))
+
     @property
     def recovery_rate(self) -> float:
         return self.recoveries / self.episodes if self.episodes else 0.0
@@ -313,6 +397,38 @@ class FleetAggregator:
             else:
                 self.recovery_cells[key] = cell
         return self
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe rendering of the full aggregator state.
+
+        Cell keys are tuples of mixed scalars; they serialize as lists (the
+        int/float/str distinction survives JSON) and the cells themselves in
+        sorted-key order so equal aggregators serialize to equal bytes.  The
+        durable journal persists one of these per completed chunk in
+        memory-bounded mode; :meth:`from_dict` + :meth:`merge` reassemble
+        the campaign aggregate on resume.
+        """
+        return {
+            "sample_cap": self.sample_cap,
+            "cells": [self.cells[key].to_dict()
+                      for key in sorted(self.cells,
+                                        key=lambda k: tuple(map(str, k)))],
+            "recovery_cells": [
+                self.recovery_cells[key].to_dict()
+                for key in sorted(self.recovery_cells,
+                                  key=lambda k: tuple(map(str, k)))],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "FleetAggregator":
+        aggregator = cls(sample_cap=int(payload["sample_cap"]))
+        for cell_payload in payload["cells"]:
+            cell = CellAggregate.from_dict(cell_payload)
+            aggregator.cells[cell.key] = cell
+        for cell_payload in payload["recovery_cells"]:
+            recovery = RecoveryCellAggregate.from_dict(cell_payload)
+            aggregator.recovery_cells[recovery.key] = recovery
+        return aggregator
 
     @property
     def episodes(self) -> int:

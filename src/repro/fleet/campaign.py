@@ -58,7 +58,25 @@ from ..tinympc.cache import compute_cache
 from .scheduler import FleetEpisode
 
 __all__ = ["EpisodeSpec", "CampaignSpec", "EpisodeFactory", "CELL_AXES",
-           "RECOVERY_CELL_AXES", "EPISODE_KINDS"]
+           "RECOVERY_CELL_AXES", "EPISODE_KINDS", "SPEC_SCHEMA_VERSION"]
+
+# Version of the serialized spec schema (EpisodeSpec.to_dict /
+# CampaignSpec.to_dict).  Bump this whenever a field is added, removed, or
+# changes meaning, so durable checkpoints written by an older build fail
+# loudly with a migration error instead of silently mis-resuming.  Payloads
+# with no ``schema_version`` key predate versioning and are read as the
+# first version.
+SPEC_SCHEMA_VERSION = 1
+
+
+def _check_schema_version(payload: Dict, what: str) -> None:
+    version = payload.get("schema_version", SPEC_SCHEMA_VERSION)
+    if version != SPEC_SCHEMA_VERSION:
+        raise ValueError(
+            "{} was serialized with spec schema v{!r} but this build reads "
+            "v{}; a stale checkpoint or fixture cannot be resumed — re-run "
+            "the campaign from scratch (or migrate the payload by hand)"
+            .format(what, version, SPEC_SCHEMA_VERSION))
 
 
 # The configuration axes (everything but the seed) that define an aggregate
@@ -190,6 +208,7 @@ class EpisodeSpec:
         this pair, so it must round-trip *every* field bit-for-bit.
         """
         return {
+            "schema_version": SPEC_SCHEMA_VERSION,
             "difficulty": self.difficulty.value,
             "seed": self.seed,
             "implementation": self.implementation,
@@ -210,12 +229,14 @@ class EpisodeSpec:
 
     @classmethod
     def from_dict(cls, payload: Dict) -> "EpisodeSpec":
-        known = {f.name for f in fields(cls)}
+        _check_schema_version(payload, "episode spec")
+        known = {f.name for f in fields(cls)} | {"schema_version"}
         unknown = set(payload) - known
         if unknown:
             raise ValueError("unknown episode fields: {}".format(
                 ", ".join(sorted(unknown))))
         payload = dict(payload)
+        payload.pop("schema_version", None)
         payload["difficulty"] = _as_difficulty(payload["difficulty"])
         if payload.get("disturbance") is not None:
             payload["disturbance"] = wrench_from_dict(payload["disturbance"])
@@ -454,6 +475,7 @@ class CampaignSpec:
     # -- (de)serialization -------------------------------------------------------
     def to_dict(self) -> Dict:
         return {
+            "schema_version": SPEC_SCHEMA_VERSION,
             "name": self.name,
             "difficulties": [d.value for d in self.difficulties],
             "seeds": list(self.seeds),
@@ -482,11 +504,14 @@ class CampaignSpec:
 
     @classmethod
     def from_dict(cls, payload: Dict) -> "CampaignSpec":
-        known = {f.name for f in fields(cls)}
+        _check_schema_version(payload, "campaign spec")
+        known = {f.name for f in fields(cls)} | {"schema_version"}
         unknown = set(payload) - known
         if unknown:
             raise ValueError("unknown campaign fields: {}".format(
                 ", ".join(sorted(unknown))))
+        payload = dict(payload)
+        payload.pop("schema_version", None)
         return cls(**payload)
 
     def describe(self) -> str:

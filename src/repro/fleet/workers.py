@@ -20,7 +20,7 @@ shard's batch width is part of the GEMM round-off profile).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import multiprocessing
@@ -28,6 +28,7 @@ import multiprocessing
 from ..hil.episode import EpisodeResult
 from .aggregate import FleetAggregator
 from .campaign import CampaignSpec, EpisodeFactory, EpisodeSpec
+from .durable import DEFAULT_LEASE_SIZE, EpisodeFailure, ExecutionPlan
 from .scheduler import FleetScheduler, SchedulerStats
 
 __all__ = ["CampaignResult", "run_campaign", "shard_indices",
@@ -68,15 +69,22 @@ class CampaignResult:
     aggregate: FleetAggregator
     stats: SchedulerStats
     workers: int = 1
+    failures: List[EpisodeFailure] = field(default_factory=list)
+    run_dir: Optional[str] = None         # set for checkpointed runs
+    report: Optional[object] = None       # SupervisorReport, if supervised
 
     def rows(self) -> List[Dict[str, object]]:
-        """Aggregate rows: waypoint cells followed by recovery cells."""
-        return self.aggregate.rows() + self.aggregate.recovery_rows()
+        """Aggregate rows (waypoint cells, recovery cells), then one
+        structured row per quarantined episode."""
+        return (self.aggregate.rows() + self.aggregate.recovery_rows()
+                + [failure.as_row() for failure in self.failures])
 
     def overall(self) -> Dict[str, object]:
         summary = self.aggregate.overall()
         summary["workers"] = self.workers
         summary.update(self.stats.as_row())
+        if self.failures:
+            summary["quarantined_episodes"] = len(self.failures)
         return summary
 
 
@@ -110,7 +118,10 @@ def run_campaign(campaign: Union[CampaignSpec, Sequence[EpisodeSpec]],
                  max_batch: Optional[int] = None,
                  sample_cap: int = 4096,
                  keep_results: bool = True,
-                 start_method: Optional[str] = None) -> CampaignResult:
+                 start_method: Optional[str] = None,
+                 checkpoint_dir: Optional[str] = None,
+                 retry_policy=None,
+                 lease_size: int = DEFAULT_LEASE_SIZE) -> CampaignResult:
     """Run a campaign, optionally sharded across worker processes.
 
     Args:
@@ -128,6 +139,16 @@ def run_campaign(campaign: Union[CampaignSpec, Sequence[EpisodeSpec]],
             ``max_batch`` defaults to :data:`DEFAULT_BOUNDED_BATCH` so
             solver workspaces stay bounded too).
         start_method: multiprocessing start method (default: platform default).
+        checkpoint_dir: enable the durable, supervised execution path
+            (:mod:`repro.fleet.durable` / :mod:`repro.fleet.supervisor`):
+            episode chunks are journaled to a content-addressed run
+            directory under this path, already-journaled chunks are
+            skipped on restart, worker death / poisoned episodes are
+            retried and quarantined instead of aborting the campaign.
+        retry_policy: a :class:`~repro.fleet.supervisor.RetryPolicy`
+            (supervised path only; default policy when ``None``).
+        lease_size: episodes per supervised chunk — the atomic unit of
+            checkpointing and re-execution (supervised path only).
     """
     if not keep_results and max_batch is None:
         max_batch = DEFAULT_BOUNDED_BATCH
@@ -139,6 +160,21 @@ def run_campaign(campaign: Union[CampaignSpec, Sequence[EpisodeSpec]],
         episode_specs = list(campaign)
     if workers < 1:
         raise ValueError("workers must be at least 1")
+
+    if checkpoint_dir is not None:
+        from .supervisor import run_supervised
+        plan = ExecutionPlan(shards=workers, lease_size=lease_size,
+                             batching=batching, max_batch=max_batch,
+                             keep_results=keep_results,
+                             sample_cap=sample_cap)
+        outcome = run_supervised(spec, episode_specs, plan, checkpoint_dir,
+                                 retry=retry_policy, workers=workers,
+                                 start_method=start_method)
+        return CampaignResult(spec, episode_specs, outcome.results,
+                              outcome.aggregate, outcome.stats, workers,
+                              failures=outcome.failures,
+                              run_dir=outcome.run_dir,
+                              report=outcome.report)
 
     results: List[Optional[EpisodeResult]] = [None] * len(episode_specs)
     stats = SchedulerStats()

@@ -215,6 +215,49 @@ class TestExperimentDriver:
         assert first == second
 
 
+class TestQuarantine:
+    """Worker-failure paths: a failing episode must cost one structured
+    row, not the campaign (pre-supervisor, one raising episode propagated
+    through ``pool.map`` and lost every shard's work)."""
+
+    SPEC = CampaignSpec(name="quarantine", difficulties=("easy",),
+                        seeds=(0, 1, 2, 3), frequencies_mhz=(100.0, 250.0))
+
+    def _poisoned(self, checkpoint_dir, monkeypatch, episode=2):
+        from repro.fleet import RetryPolicy
+        monkeypatch.setenv("REPRO_CHAOS",
+                           json.dumps({"episode": episode, "mode": "raise"}))
+        return run_campaign(self.SPEC, workers=2, checkpoint_dir=checkpoint_dir,
+                            lease_size=4,
+                            retry_policy=RetryPolicy(max_attempts=2,
+                                                     backoff_base=0.02))
+
+    def test_failure_row_emitted_and_siblings_survive(self, tmp_path,
+                                                      monkeypatch):
+        outcome = self._poisoned(str(tmp_path / "run"), monkeypatch)
+        assert [f.index for f in outcome.failures] == [2]
+        assert outcome.results[2] is None
+        completed = [r for i, r in enumerate(outcome.results) if i != 2]
+        assert all(r is not None for r in completed)
+        rows = outcome.rows()
+        quarantined = [row for row in rows
+                       if row.get("status") == "quarantined"]
+        assert len(quarantined) == 1
+        assert quarantined[0]["index"] == 2
+        assert quarantined[0]["error_type"] == "ChaosError"
+        assert quarantined[0]["attempts"] == 2
+        # Aggregate rows count only the episodes that actually completed.
+        aggregate_rows = [row for row in rows if "status" not in row]
+        assert sum(row["episodes"] for row in aggregate_rows) == 7
+        assert outcome.overall()["quarantined_episodes"] == 1
+
+    def test_quarantine_output_is_deterministic(self, tmp_path, monkeypatch):
+        first = self._poisoned(str(tmp_path / "a"), monkeypatch)
+        second = self._poisoned(str(tmp_path / "b"), monkeypatch)
+        assert json.dumps(first.rows(), sort_keys=True, default=str) == \
+            json.dumps(second.rows(), sort_keys=True, default=str)
+
+
 class TestCampaignCLI:
     def test_smoke_run_writes_rows(self, tmp_path):
         output = tmp_path / "campaign.json"
