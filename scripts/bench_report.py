@@ -20,6 +20,7 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 from repro.bench import (  # noqa: E402
     run_compiled_backend_bench,
+    run_dse_bench,
     run_kernel_hotpath_bench,
     write_bench_report,
 )
@@ -35,6 +36,9 @@ def main() -> int:
     parser.add_argument("--backend", default="auto",
                         help="compiled backend to measure (auto/numba/c/"
                              "numpy; numpy skips the compiled rows)")
+    parser.add_argument("--dse", action="store_true",
+                        help="also run the design-space exploration "
+                             "throughput benchmark (BENCH_dse.json)")
     parser.add_argument("--output-dir", type=Path, default=None,
                         help="directory for BENCH_kernels.json")
     args = parser.parse_args()
@@ -63,6 +67,21 @@ def main() -> int:
     for key in sorted(metrics):
         print("{:40s} {}".format(key, metrics[key]))
     print("\nwrote {}".format(path))
+
+    if args.dse:
+        dse_metrics, dse_rows = run_dse_bench(smoke=args.smoke)
+        dse_path = write_bench_report("dse", dse_metrics, dse_rows,
+                                      smoke=args.smoke,
+                                      directory=args.output_dir)
+        print("\n== DSE throughput (model campaign vs serial compiles) ==")
+        for row in dse_rows:
+            print("{:10s} {:>4d} specs  serial {:>7.2f}s  model {:>7.3f}s"
+                  "  {:>6.1f}x".format(row["category"], row["specs"],
+                                       row["serial_compile_s"],
+                                       row["model_fleet_s"], row["speedup"]))
+        for key in sorted(dse_metrics):
+            print("{:40s} {}".format(key, dse_metrics[key]))
+        print("\nwrote {}".format(dse_path))
     return 0
 
 

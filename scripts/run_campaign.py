@@ -14,6 +14,12 @@ and prints per-cell aggregate rows.  Examples::
         --difficulties easy,medium --seeds 8 --frequencies 100,250 \\
         --workers 4 --output campaign.json
 
+    # solver-less design-space exploration over the hardware catalog,
+    # evaluated with the trace-validated analytical cycle model
+    PYTHONPATH=src python scripts/run_campaign.py \\
+        --episode-kind design_point --fidelity model \\
+        --codegen-levels auto --output dse.json
+
 With ``--checkpoint-dir`` the campaign runs on the durable, supervised
 path (``docs/robustness.md``): progress is journaled to a
 content-addressed run directory, worker death and poisoned episodes are
@@ -60,6 +66,11 @@ def _int_csv(value: str):
     return [int(item) for item in _csv(value)]
 
 
+def _opt_int_csv(value: str):
+    return [None if item.lower() in ("none", "default") else int(item)
+            for item in _csv(value)]
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         description="Run a fleet campaign of HIL episodes.")
@@ -80,9 +91,11 @@ def build_parser() -> argparse.ArgumentParser:
                         help="comma-separated control rates in Hz")
     parser.add_argument("--max-iterations", type=_int_csv, default=[10],
                         help="comma-separated ADMM iteration caps")
-    parser.add_argument("--episode-kind", choices=["waypoint", "recovery"],
+    parser.add_argument("--episode-kind",
+                        choices=["waypoint", "recovery", "design_point"],
                         default="waypoint",
-                        help="waypoint scenarios or disturbance recovery")
+                        help="waypoint scenarios, disturbance recovery, or "
+                             "solver-less design-space exploration")
     parser.add_argument("--disturbance-categories", type=_csv,
                         default=["force", "torque", "combined"],
                         help="recovery only; comma-separated: force,torque,combined")
@@ -93,6 +106,27 @@ def build_parser() -> argparse.ArgumentParser:
                         help="recovery only; magnitude-ladder multipliers")
     parser.add_argument("--disturbance-starts", type=_float_csv, default=[0.5],
                         help="recovery only; disturbance start times in seconds")
+    parser.add_argument("--programs", type=_csv, default=["iteration"],
+                        help="design_point only; registered program variants")
+    parser.add_argument("--design-points", type=_csv, default=[],
+                        help="design_point only; comma-separated catalog "
+                             "names (empty = the whole catalog)")
+    parser.add_argument("--codegen-levels", type=_csv, default=["auto"],
+                        help="design_point only; optimization levels "
+                             "('auto' = the figure-10 level per category)")
+    parser.add_argument("--fidelity", type=_csv, default=["trace"],
+                        dest="fidelities", metavar="FIDELITY",
+                        help="design_point only; comma-separated: trace,model")
+    parser.add_argument("--sync-granularities", type=_opt_int_csv,
+                        default=[None],
+                        help="design_point only; Gemmini ops-per-sync values "
+                             "('none' = the level default)")
+    parser.add_argument("--lmuls", type=_int_csv, default=[1],
+                        help="design_point only; vector register-grouping "
+                             "factors")
+    parser.add_argument("--solve-iterations", type=int, default=10,
+                        help="design_point only; ADMM iterations per solve "
+                             "for the cycles-per-solve metric")
     parser.add_argument("--workers", type=int, default=1,
                         help="worker processes (1 = in-process)")
     parser.add_argument("--max-batch", type=int, default=None,
@@ -139,6 +173,13 @@ def main(argv=None) -> int:
         disturbance_kinds=tuple(args.disturbance_kinds),
         disturbance_scales=tuple(args.disturbance_scales),
         disturbance_start_times=tuple(args.disturbance_starts),
+        programs=tuple(args.programs),
+        design_points=tuple(args.design_points),
+        codegen_levels=tuple(args.codegen_levels),
+        fidelities=tuple(args.fidelities),
+        sync_granularities=tuple(args.sync_granularities),
+        lmuls=tuple(args.lmuls),
+        solve_iterations=args.solve_iterations,
     )
     if not args.quiet:
         print(spec.describe())
@@ -183,9 +224,12 @@ def main(argv=None) -> int:
     if not args.quiet:
         print(format_rows(rows))
         summary = outcome.overall()
-        rate = ("recovery rate {:.1%}".format(summary["recovery_rate"])
-                if summary.get("recovery_episodes")
-                else "success rate {:.1%}".format(summary["success_rate"]))
+        if summary.get("design_episodes"):
+            rate = "{} design points".format(summary["design_episodes"])
+        elif summary.get("recovery_episodes"):
+            rate = "recovery rate {:.1%}".format(summary["recovery_rate"])
+        else:
+            rate = "success rate {:.1%}".format(summary["success_rate"])
         print("\n{} episodes in {:.2f}s ({:.1f} episodes/s) | "
               "{} | {} dispatches, mean batch width {:.1f}"
               .format(summary["episodes"], elapsed,

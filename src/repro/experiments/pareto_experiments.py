@@ -5,6 +5,15 @@ catalog; it accepts either a pre-built program or an
 :class:`~repro.tinympc.problem.MPCProblem` (so sweeps over problem variants
 — and the cache keys in :mod:`repro.experiments.runner` — stay tied to the
 problem contents rather than to a shared default).
+
+``engine="fleet"`` (the default) routes the per-point compiles through the
+fleet campaign engine as ``design_point`` episodes
+(:mod:`repro.fleet.design_point`) — same rows, bit-for-bit, with caching,
+sharding, and checkpointing for free.  ``engine="serial"`` keeps the plain
+loop as the reference implementation the equality tests pin against.
+``fidelity="model"`` evaluates with the trace-validated analytical cycle
+model instead of full codegen, and automatically *promotes* the resulting
+Pareto frontier back to trace fidelity for confirmation.
 """
 
 from __future__ import annotations
@@ -17,17 +26,51 @@ from ..matlib import MatlibProgram
 from ..tinympc import MPCProblem
 from .kernel_experiments import default_program
 
-__all__ = ["fig10_pareto", "pareto_frontier"]
+__all__ = ["fig10_pareto", "pareto_frontier", "dse_campaign"]
 
 # The software mapping each category is evaluated with in Figure 10.
 _CATEGORY_LEVEL = {"scalar": "eigen", "vector": "fused", "systolic": "optimized"}
 
 
+def _program_name(program: Optional[MatlibProgram],
+                  problem: Optional[MPCProblem]) -> str:
+    """The registered program name a fleet sweep should evaluate."""
+    from ..fleet.design_point import intern_program
+    if program is None and problem is None:
+        return "iteration"
+    return intern_program(program if program is not None
+                          else default_program(problem))
+
+
 def fig10_pareto(program: Optional[MatlibProgram] = None,
                  problem: Optional[MPCProblem] = None,
-                 solve_iterations: int = 10) -> List[Dict]:
+                 solve_iterations: int = 10,
+                 engine: str = "fleet",
+                 fidelity: str = "trace") -> List[Dict]:
     """One row per design point: area, cycles per solve, achievable ADMM solve
     frequency at 500 MHz, and whether the point is Pareto-optimal."""
+    if engine == "serial":
+        if fidelity != "trace":
+            raise ValueError("the serial reference engine only runs at "
+                             "trace fidelity")
+        rows = _fig10_serial(program, problem, solve_iterations)
+    elif engine == "fleet":
+        rows = _fig10_fleet(program, problem, solve_iterations, fidelity)
+    else:
+        raise ValueError("unknown engine {!r}; options: fleet, serial"
+                         .format(engine))
+    frontier = pareto_frontier([(r["area_mm2"], r["solve_hz_at_500mhz"])
+                                for r in rows])
+    for index, row in enumerate(rows):
+        row["pareto_optimal"] = index in frontier
+    if engine == "fleet" and fidelity == "model":
+        _promote_rows(rows, frontier, program=_program_name(program, problem))
+    return rows
+
+
+def _fig10_serial(program: Optional[MatlibProgram],
+                  problem: Optional[MPCProblem],
+                  solve_iterations: int) -> List[Dict]:
     program = program or default_program(problem)
     flow = CodegenFlow()
     rows: List[Dict] = []
@@ -48,24 +91,129 @@ def fig10_pareto(program: Optional[MatlibProgram] = None,
             "cycles_per_solve": cycles_per_solve,
             "solve_hz_at_500mhz": 500e6 / cycles_per_solve,
         })
-    frontier = pareto_frontier([(r["area_mm2"], r["solve_hz_at_500mhz"]) for r in rows])
-    for index, row in enumerate(rows):
-        row["pareto_optimal"] = index in frontier
     return rows
 
 
+def _fig10_fleet(program: Optional[MatlibProgram],
+                 problem: Optional[MPCProblem],
+                 solve_iterations: int, fidelity: str) -> List[Dict]:
+    from ..fleet.design_point import (DesignPointSpec, compile_via_fleet,
+                                      default_level_for)
+    name = _program_name(program, problem)
+    specs = [DesignPointSpec(design_point=point.name,
+                             codegen_level=default_level_for(point),
+                             program=name, fidelity=fidelity,
+                             solve_iterations=solve_iterations)
+             for point in list_design_points()]
+    results = compile_via_fleet(specs)
+    return [{
+        "design_point": r.design_point,
+        "category": r.category,
+        "level": r.codegen_level,
+        "area_mm2": r.area_mm2,
+        "cycles_per_iteration": r.total_cycles,
+        "cycles_per_solve": r.cycles_per_solve,
+        "solve_hz_at_500mhz": r.solve_hz_at_500mhz,
+    } for r in results]
+
+
+def _promote_rows(rows: List[Dict], frontier: Sequence[int],
+                  program: str = "iteration") -> None:
+    """Re-evaluate model-fidelity frontier rows at trace fidelity in place.
+
+    The wide sweep ran on the analytical model; the points a designer would
+    pick get cycle-exact confirmation columns (``trace_*``).  The model is
+    validated bit-exact on the whole catalog, so ``trace_confirmed`` is a
+    regression tripwire, not an expected source of disagreement.
+
+    Accepts both figure rows (``level`` / ``cycles_per_iteration``) and
+    campaign design-cell rows (``codegen_level`` / ``total_cycles``).
+    """
+    from ..fleet.design_point import (DesignPointSpec, compile_via_fleet)
+    specs = []
+    for index in frontier:
+        row = rows[index]
+        specs.append(DesignPointSpec(
+            design_point=row["design_point"],
+            codegen_level=row.get("level", row.get("codegen_level")),
+            program=row.get("program", program),
+            fidelity="trace",
+            lmul=int(row.get("lmul", 1)),
+            sync_granularity=row.get("sync_granularity")))
+    for index, traced in zip(frontier, compile_via_fleet(specs)):
+        row = rows[index]
+        model_cycles = row.get("cycles_per_iteration",
+                               row.get("total_cycles"))
+        row["trace_cycles_per_iteration"] = traced.total_cycles
+        row["trace_confirmed"] = traced.total_cycles == model_cycles
+
+
 def pareto_frontier(points: Sequence[Tuple[float, float]]) -> List[int]:
-    """Indices of Pareto-optimal points (minimize area, maximize performance)."""
-    frontier = []
-    for index, (area, performance) in enumerate(points):
-        dominated = False
-        for other_index, (other_area, other_performance) in enumerate(points):
-            if other_index == index:
-                continue
-            if (other_area <= area and other_performance >= performance
-                    and (other_area < area or other_performance > performance)):
-                dominated = True
-                break
-        if not dominated:
-            frontier.append(index)
-    return frontier
+    """Indices of Pareto-optimal points (minimize area, maximize performance).
+
+    O(n log n): sort by (area asc, performance desc) and sweep once.  A
+    point survives iff it has the best performance of its exact area group
+    and strictly beats the best performance seen at any smaller area — the
+    same dominance rule (ties and duplicates included) as the brute-force
+    pairwise check, which the property tests compare against.
+    """
+    order = sorted(range(len(points)),
+                   key=lambda i: (points[i][0], -points[i][1]))
+    frontier: List[int] = []
+    best = float("-inf")            # best performance at strictly smaller area
+    position = 0
+    while position < len(order):
+        area = points[order[position]][0]
+        group_end = position
+        while (group_end < len(order)
+               and points[order[group_end]][0] == area):
+            group_end += 1
+        group = order[position:group_end]
+        group_best = points[group[0]][1]    # sorted desc within the group
+        if group_best > best:
+            frontier.extend(i for i in group
+                            if points[i][1] == group_best)
+            best = group_best
+        position = group_end
+    return sorted(frontier)
+
+
+def dse_campaign(design_points: Sequence[str] = (),
+                 codegen_levels: Sequence[str] = ("auto",),
+                 fidelities: Sequence[str] = ("model",),
+                 programs: Sequence[str] = ("iteration",),
+                 lmuls: Sequence[int] = (1,),
+                 sync_granularities: Sequence[Optional[int]] = (None,),
+                 solve_iterations: int = 10,
+                 workers: int = 1,
+                 promote: bool = True) -> List[Dict]:
+    """Free-form design-space exploration campaign (the ``dse`` experiment).
+
+    Sweeps the full cross product of the given axes as ``design_point``
+    episodes and returns one row per design cell.  Each (program, fidelity)
+    slice gets Pareto flags; with ``promote=True``, model-fidelity frontier
+    rows also get cycle-exact ``trace_*`` confirmation columns.
+    """
+    from ..fleet import CampaignSpec, run_campaign
+    spec = CampaignSpec(name="dse", episode_kind="design_point",
+                        design_points=tuple(design_points),
+                        codegen_levels=tuple(codegen_levels),
+                        fidelities=tuple(fidelities),
+                        programs=tuple(programs), lmuls=tuple(lmuls),
+                        sync_granularities=tuple(sync_granularities),
+                        solve_iterations=solve_iterations)
+    outcome = run_campaign(spec, workers=workers)
+    rows = outcome.aggregate.design_rows()
+    for slice_key in sorted({(row["program"], row["fidelity"])
+                             for row in rows}):
+        indices = [i for i, row in enumerate(rows)
+                   if (row["program"], row["fidelity"]) == slice_key]
+        frontier = pareto_frontier([(rows[i]["area_mm2"],
+                                     rows[i]["solve_hz_at_500mhz"])
+                                    for i in indices])
+        local_frontier = [indices[j] for j in frontier]
+        for i in indices:
+            rows[i]["pareto_optimal"] = i in local_frontier
+        if promote and slice_key[1] == "model":
+            _promote_rows(rows, local_frontier)
+    return rows

@@ -53,6 +53,9 @@ EXPERIMENTS: Dict[str, Experiment] = {
                    gemmini_experiments.fig9_sync_granularity, "4.2.7"),
         Experiment("fig10", "Performance vs area Pareto frontier",
                    pareto_experiments.fig10_pareto, "5.1"),
+        Experiment("dse", "Design-space exploration campaign over the "
+                          "architecture x codegen x fidelity grid",
+                   pareto_experiments.dse_campaign, "5.1 / north star"),
         Experiment("fig11", "Saturn kernels with Rocket vs Shuttle frontend",
                    kernel_experiments.fig11_frontend_comparison, "5.1.2"),
         Experiment("fig12", "Gemmini kernel breakdown with engine ablation",

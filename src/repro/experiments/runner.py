@@ -36,6 +36,7 @@ Example::
 from __future__ import annotations
 
 import hashlib
+import inspect
 import json
 import os
 from dataclasses import dataclass, field
@@ -57,7 +58,11 @@ BATCH_ROUTED_EXPERIMENTS = ("fig16", "fig17", "fig18", "fleet_campaign")
 # changed HIL episode trajectories without touching the MPC problem hashes.
 # v4: the recovery criterion now requires the full 250 ms hold window and
 # measures max deviation from disturbance start, shifting Fig. 17 numbers.
-_CACHE_VERSION = 4
+# v5: cache keys now fold in the driver's default keyword arguments and the
+# design-space fingerprint, so sweeps keyed on implicit design-point /
+# engine / fidelity defaults invalidate when those defaults (or any hardware
+# configuration) change.
+_CACHE_VERSION = 5
 
 
 def _jsonable(value) -> bool:
@@ -102,6 +107,31 @@ def workload_fingerprint() -> str:
         digest.update(name.encode())
         digest.update(problem_hash(build_variant_problem(params)).encode())
     return digest.hexdigest()
+
+
+def _design_fingerprint() -> str:
+    from ..arch import design_space_fingerprint
+    return design_space_fingerprint()
+
+
+def _effective_kwargs(identifier: str, kwargs: Dict) -> Dict:
+    """Explicit kwargs merged over the driver's jsonable signature defaults."""
+    from .registry import EXPERIMENTS
+
+    experiment = EXPERIMENTS.get(identifier)
+    if experiment is None:
+        return dict(kwargs)
+    merged: Dict = {}
+    try:
+        parameters = inspect.signature(experiment.driver).parameters
+    except (TypeError, ValueError):
+        return dict(kwargs)
+    for name, parameter in parameters.items():
+        if (parameter.default is not inspect.Parameter.empty
+                and _jsonable(_normalize(parameter.default))):
+            merged[name] = parameter.default
+    merged.update(kwargs)
+    return merged
 
 
 def _sanitize_rows(rows: List[Dict]) -> List[Dict]:
@@ -159,13 +189,23 @@ class ExperimentRunner:
         return rows
 
     def cache_key(self, identifier: str, kwargs: Dict) -> Optional[str]:
-        """Stable cache key, or ``None`` when the call is not cacheable."""
-        normalized = _normalize(kwargs)
+        """Stable cache key, or ``None`` when the call is not cacheable.
+
+        The key covers the *effective* call: explicit kwargs are merged over
+        the driver's own defaults (resolved via ``inspect.signature``), so a
+        sweep run with the default design point, codegen engine, or fidelity
+        is re-keyed when those defaults change in code — and an explicit
+        ``fig6(design_point=<default>)`` shares its cache entry with the
+        implicit call.  The design-space fingerprint ties every key to the
+        hardware catalog contents.
+        """
+        normalized = _normalize(_effective_kwargs(identifier, kwargs))
         if not _jsonable(normalized):
             return None
         payload = json.dumps(
             {"version": _CACHE_VERSION, "experiment": identifier,
-             "kwargs": normalized, "problem": workload_fingerprint()},
+             "kwargs": normalized, "problem": workload_fingerprint(),
+             "design_space": _design_fingerprint()},
             sort_keys=True)
         return "{}-{}".format(
             identifier, hashlib.sha256(payload.encode()).hexdigest()[:24])

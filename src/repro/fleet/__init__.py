@@ -18,7 +18,10 @@ settings) into batched solver work:
   fault-tolerant path behind ``run_campaign(..., checkpoint_dir=...)``:
   checksummed completion journal, exact resume, supervised workers with
   retry/bisection/quarantine (see ``docs/robustness.md``);
-* :mod:`repro.fleet.chaos` — fault injection for the chaos tests.
+* :mod:`repro.fleet.chaos` — fault injection for the chaos tests;
+* :mod:`repro.fleet.kinds` / :mod:`repro.fleet.design_point` — the
+  episode-kind protocol that makes the engine workload-polymorphic, and
+  the solver-less design-space-exploration kind built on it.
 
 Quick example::
 
@@ -45,11 +48,26 @@ from .campaign import (
     EpisodeFactory,
     EpisodeSpec,
 )
+from .design_point import (
+    DESIGN_CELL_AXES,
+    DesignCellAggregate,
+    DesignPointKind,
+    DesignPointResult,
+    DesignPointSpec,
+    evaluate_design_point,
+)
 from .durable import (
     CampaignInterrupted,
     EpisodeFailure,
     ExecutionPlan,
     RunJournal,
+)
+from .kinds import (
+    EpisodeKind,
+    episode_kind_names,
+    get_episode_kind,
+    kind_for_result,
+    register_episode_kind,
 )
 from .scheduler import (
     FleetEpisode,
@@ -73,10 +91,21 @@ __all__ = [
     "CampaignSpec",
     "EpisodeFactory",
     "EpisodeSpec",
+    "DESIGN_CELL_AXES",
+    "DesignCellAggregate",
+    "DesignPointKind",
+    "DesignPointResult",
+    "DesignPointSpec",
+    "evaluate_design_point",
     "CampaignInterrupted",
     "EpisodeFailure",
     "ExecutionPlan",
     "RunJournal",
+    "EpisodeKind",
+    "episode_kind_names",
+    "get_episode_kind",
+    "kind_for_result",
+    "register_episode_kind",
     "RetryPolicy",
     "SupervisorReport",
     "FleetEpisode",

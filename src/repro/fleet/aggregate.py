@@ -31,6 +31,7 @@ import numpy as np
 from ..drone.disturbance import RecoveryResult
 from ..hil.metrics import ScenarioResult
 from .campaign import CELL_AXES, RECOVERY_CELL_AXES
+from .kinds import episode_kind_names, get_episode_kind, kind_for_result
 
 __all__ = ["ReservoirSamples", "CellAggregate", "RecoveryCellAggregate",
            "FleetAggregator"]
@@ -342,60 +343,65 @@ class RecoveryCellAggregate:
         return row
 
 
+def _sorted_keys(cells: Dict[Tuple, object]) -> List[Tuple]:
+    return sorted(cells, key=lambda k: tuple(map(str, k)))
+
+
 class FleetAggregator:
     """Streaming aggregation of campaign results into per-cell statistics.
 
-    Waypoint episodes (:class:`ScenarioResult`) and disturbance-recovery
-    episodes (:class:`RecoveryResult`) stream into separate cell maps;
-    :meth:`rows` reports the waypoint cells, :meth:`recovery_rows` the
-    recovery cells, and :meth:`overall` summarizes both.
+    Results stream into one cell map per *episode kind*
+    (:mod:`repro.fleet.kinds`): waypoint episodes
+    (:class:`ScenarioResult`), disturbance-recovery episodes
+    (:class:`RecoveryResult`), and design-point evaluations
+    (:class:`~repro.fleet.design_point.DesignPointResult`) each fold into
+    their kind's per-cell aggregate; :meth:`rows` reports the waypoint
+    cells, :meth:`recovery_rows` the recovery cells, :meth:`design_rows`
+    the design cells, and :meth:`overall` summarizes all of them.  A newly
+    registered kind gets its cell map, serialization, and row reporting for
+    free via its :class:`~repro.fleet.kinds.EpisodeKind` hooks.
     """
 
     def __init__(self, sample_cap: int = 4096) -> None:
         self.sample_cap = sample_cap
-        self.cells: Dict[Tuple, CellAggregate] = {}
-        self.recovery_cells: Dict[Tuple, RecoveryCellAggregate] = {}
+        self._kind_cells: Dict[str, Dict[Tuple, object]] = {}
+        # Attribute aliases for the built-in kinds (dict identity is stable:
+        # cells_for() hands out the same dict it stores).
+        self.cells: Dict[Tuple, CellAggregate] = self.cells_for("waypoint")
+        self.recovery_cells: Dict[Tuple, RecoveryCellAggregate] = (
+            self.cells_for("recovery"))
+        self.design_cells: Dict[Tuple, object] = self.cells_for("design_point")
+
+    def cells_for(self, kind_name: str) -> Dict[Tuple, object]:
+        """The cell map for one episode kind (created on first use)."""
+        return self._kind_cells.setdefault(kind_name, {})
 
     def add(self, result, key: Optional[Tuple] = None) -> None:
-        """Consume one episode result (waypoint or recovery).
+        """Consume one episode result of any registered kind.
 
-        ``key`` is the aggregate cell (``EpisodeSpec.cell_key()``); when the
-        result does not come from a campaign, a key is derived from the
-        result's own fields (variant/control-rate/iteration axes unknown).
+        ``key`` is the aggregate cell (the spec's ``cell_key()``); when the
+        result does not come from a campaign, the kind derives a fallback
+        key from the result's own fields (axes the result does not carry are
+        left neutral).
         """
-        if isinstance(result, RecoveryResult):
-            if key is None:
-                disturbance = result.disturbance
-                key = ("-", "-", 0.0, "-", 0.0, 0, 1.0, "clean",
-                       disturbance.category.value if disturbance else "-",
-                       disturbance.kind.value if disturbance else "-")
-            cell = self.recovery_cells.get(key)
-            if cell is None:
-                cell = RecoveryCellAggregate(key=key,
-                                             sample_cap=self.sample_cap)
-                self.recovery_cells[key] = cell
-            cell.add(result)
-            return
+        kind = kind_for_result(result)
         if key is None:
-            key = (result.scenario.difficulty.value, result.implementation,
-                   result.frequency_mhz, "-", 0.0, 0, 1.0, "clean")
-        cell = self.cells.get(key)
+            key = kind.result_cell_key(result)
+        cells = self.cells_for(kind.name)
+        cell = cells.get(key)
         if cell is None:
-            cell = CellAggregate(key=key, sample_cap=self.sample_cap)
-            self.cells[key] = cell
+            cell = kind.new_cell(key, self.sample_cap)
+            cells[key] = cell
         cell.add(result)
 
     def merge(self, other: "FleetAggregator") -> "FleetAggregator":
-        for key, cell in other.cells.items():
-            if key in self.cells:
-                self.cells[key].merge(cell)
-            else:
-                self.cells[key] = cell
-        for key, cell in other.recovery_cells.items():
-            if key in self.recovery_cells:
-                self.recovery_cells[key].merge(cell)
-            else:
-                self.recovery_cells[key] = cell
+        for kind_name, theirs in other._kind_cells.items():
+            mine = self.cells_for(kind_name)
+            for key, cell in theirs.items():
+                if key in mine:
+                    mine[key].merge(cell)
+                else:
+                    mine[key] = cell
         return self
 
     def to_dict(self) -> Dict[str, object]:
@@ -403,52 +409,62 @@ class FleetAggregator:
 
         Cell keys are tuples of mixed scalars; they serialize as lists (the
         int/float/str distinction survives JSON) and the cells themselves in
-        sorted-key order so equal aggregators serialize to equal bytes.  The
-        durable journal persists one of these per completed chunk in
-        memory-bounded mode; :meth:`from_dict` + :meth:`merge` reassemble
-        the campaign aggregate on resume.
+        sorted-key order so equal aggregators serialize to equal bytes.
+        Each kind's cells land under its ``cells_field`` ("cells",
+        "recovery_cells", "design_cells", ...).  The durable journal
+        persists one of these per completed chunk in memory-bounded mode;
+        :meth:`from_dict` + :meth:`merge` reassemble the campaign aggregate
+        on resume.
         """
-        return {
-            "sample_cap": self.sample_cap,
-            "cells": [self.cells[key].to_dict()
-                      for key in sorted(self.cells,
-                                        key=lambda k: tuple(map(str, k)))],
-            "recovery_cells": [
-                self.recovery_cells[key].to_dict()
-                for key in sorted(self.recovery_cells,
-                                  key=lambda k: tuple(map(str, k)))],
-        }
+        payload: Dict[str, object] = {"sample_cap": self.sample_cap}
+        for kind_name in episode_kind_names():
+            cells = self.cells_for(kind_name)
+            field_name = get_episode_kind(kind_name).cells_field
+            payload[field_name] = [cells[key].to_dict()
+                                   for key in _sorted_keys(cells)]
+        return payload
 
     @classmethod
     def from_dict(cls, payload: Dict[str, object]) -> "FleetAggregator":
         aggregator = cls(sample_cap=int(payload["sample_cap"]))
-        for cell_payload in payload["cells"]:
-            cell = CellAggregate.from_dict(cell_payload)
-            aggregator.cells[cell.key] = cell
-        for cell_payload in payload["recovery_cells"]:
-            recovery = RecoveryCellAggregate.from_dict(cell_payload)
-            aggregator.recovery_cells[recovery.key] = recovery
+        for kind_name in episode_kind_names():
+            kind = get_episode_kind(kind_name)
+            cells = aggregator.cells_for(kind_name)
+            # .get(): payloads written before a kind existed lack its field.
+            for cell_payload in payload.get(kind.cells_field, []):
+                cell = kind.cell_from_dict(cell_payload)
+                cells[cell.key] = cell
         return aggregator
 
     @property
     def episodes(self) -> int:
-        return (sum(cell.episodes for cell in self.cells.values())
-                + self.recovery_episodes)
+        return sum(cell.episodes for cells in self._kind_cells.values()
+                   for cell in cells.values())
 
     @property
     def recovery_episodes(self) -> int:
         return sum(cell.episodes for cell in self.recovery_cells.values())
 
+    @property
+    def design_episodes(self) -> int:
+        return sum(cell.episodes for cell in self.design_cells.values())
+
+    def rows_for(self, kind_name: str) -> List[Dict[str, object]]:
+        """One row per cell of one kind, sorted by cell key."""
+        cells = self.cells_for(kind_name)
+        return [cells[key].as_row() for key in _sorted_keys(cells)]
+
     def rows(self) -> List[Dict[str, object]]:
         """One row per waypoint cell, sorted by cell key for stable output."""
-        return [self.cells[key].as_row()
-                for key in sorted(self.cells, key=lambda k: tuple(map(str, k)))]
+        return self.rows_for("waypoint")
 
     def recovery_rows(self) -> List[Dict[str, object]]:
         """One row per recovery cell, sorted by cell key for stable output."""
-        return [self.recovery_cells[key].as_row()
-                for key in sorted(self.recovery_cells,
-                                  key=lambda k: tuple(map(str, k)))]
+        return self.rows_for("recovery")
+
+    def design_rows(self) -> List[Dict[str, object]]:
+        """One row per design-point cell, sorted by cell key."""
+        return self.rows_for("design_point")
 
     def overall(self) -> Dict[str, object]:
         """Campaign-level summary across every cell."""
@@ -459,8 +475,8 @@ class FleetAggregator:
         recoveries = sum(cell.recoveries
                          for cell in self.recovery_cells.values())
         return {
-            "cells": len(self.cells) + len(self.recovery_cells),
-            "episodes": waypoint_episodes + recovery_episodes,
+            "cells": sum(len(cells) for cells in self._kind_cells.values()),
+            "episodes": self.episodes,
             "success_rate": (successes / waypoint_episodes
                              if waypoint_episodes else 0.0),
             "crash_rate": (crashes / waypoint_episodes
@@ -468,4 +484,5 @@ class FleetAggregator:
             "recovery_episodes": recovery_episodes,
             "recovery_rate": (recoveries / recovery_episodes
                               if recovery_episodes else 0.0),
+            "design_episodes": self.design_episodes,
         }

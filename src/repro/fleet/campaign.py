@@ -20,14 +20,18 @@ episode index ``i`` always means the same episode — that is what makes
 sharded runs (:mod:`repro.fleet.workers`) and cached campaign rows
 reproducible.
 
-Campaigns come in two *episode kinds*: ``"waypoint"`` (the default — fly
-generated waypoint scenarios) and ``"recovery"`` (the Section 5.2 / Fig. 17
+Campaigns come in *episode kinds* — pluggable workloads behind the
+:class:`~repro.fleet.kinds.EpisodeKind` protocol.  This module defines the
+two closed-loop HIL kinds: ``"waypoint"`` (the default — fly generated
+waypoint scenarios) and ``"recovery"`` (the Section 5.2 / Fig. 17
 robustness study — hold position, inject a disturbance, measure
 time-to-recovery).  Recovery campaigns expand the disturbance axis instead
 of varying scenario difficulty, and their episodes produce
 :class:`~repro.drone.disturbance.RecoveryResult` rows streamed into
 per-category recovery statistics by the
-:class:`~repro.fleet.aggregate.FleetAggregator`.
+:class:`~repro.fleet.aggregate.FleetAggregator`.  The solver-less
+``"design_point"`` kind (design-space exploration over accelerator
+configurations) lives in :mod:`repro.fleet.design_point`.
 """
 
 from __future__ import annotations
@@ -37,6 +41,8 @@ import itertools
 import math
 from dataclasses import dataclass, fields
 from typing import Dict, List, Optional, Tuple, Union
+
+import numpy as np
 
 from ..drone import (
     Difficulty,
@@ -49,16 +55,21 @@ from ..drone import (
     wrench_from_dict,
     wrench_to_dict,
 )
+from ..drone.disturbance import RecoveryResult
+from ..drone.scenarios import Scenario, Waypoint
 from ..hil.episode import EpisodeRunner, RecoveryEpisode
 from ..hil.faults import SensorFaults
 from ..hil.loop import HILConfig, build_variant_problem
+from ..hil.metrics import ScenarioResult
 from ..hil.soc import SOFTWARE_IMPLEMENTATIONS, SoCModel
 from ..tinympc import SolverSettings
 from ..tinympc.cache import compute_cache
+from .kinds import EpisodeKind, get_episode_kind, register_episode_kind
 from .scheduler import FleetEpisode
 
 __all__ = ["EpisodeSpec", "CampaignSpec", "EpisodeFactory", "CELL_AXES",
-           "RECOVERY_CELL_AXES", "EPISODE_KINDS", "SPEC_SCHEMA_VERSION"]
+           "RECOVERY_CELL_AXES", "EPISODE_KINDS", "SPEC_SCHEMA_VERSION",
+           "WaypointKind", "RecoveryKind"]
 
 # Version of the serialized spec schema (EpisodeSpec.to_dict /
 # CampaignSpec.to_dict).  Bump this whenever a field is added, removed, or
@@ -96,6 +107,9 @@ CELL_AXES: Tuple[str, ...] = ("difficulty", "implementation", "frequency_mhz",
 RECOVERY_CELL_AXES: Tuple[str, ...] = CELL_AXES + (
     "disturbance_category", "disturbance_kind")
 
+# The HIL episode kinds defined by this module.  Kept as a module constant
+# for back-compat; the authoritative registry (including non-HIL kinds such
+# as "design_point") is repro.fleet.kinds.
 EPISODE_KINDS = ("waypoint", "recovery")
 
 
@@ -148,6 +162,11 @@ class EpisodeSpec:
     @property
     def is_recovery(self) -> bool:
         return self.disturbance is not None
+
+    @property
+    def episode_kind(self) -> str:
+        """The registered kind this spec executes under."""
+        return "recovery" if self.disturbance is not None else "waypoint"
 
     @property
     def sensor_profile(self) -> str:
@@ -259,6 +278,14 @@ def _tuple(values) -> Tuple:
     return tuple(values)
 
 
+def _opt_int_tuple(values) -> Tuple[Optional[int], ...]:
+    """Like :func:`_tuple` for int axes where ``None`` means "backend
+    default" — both a bare ``None`` scalar and ``None`` members are kept."""
+    if values is None or isinstance(values, (int, float, str)):
+        values = (values,)
+    return tuple(None if v is None else int(v) for v in values)
+
+
 @dataclass(frozen=True)
 class CampaignSpec:
     """A cross-product grid of episodes over every configuration axis.
@@ -310,6 +337,18 @@ class CampaignSpec:
     sensor_latency_s: float = 0.0
     sensor_dropout_rate: float = 0.0
     sensor_fault_seed: int = 0
+    # -- design-space exploration axes (episode_kind="design_point" only) ----
+    # ``design_points=()`` means the whole catalog; ``codegen_levels`` may
+    # hold "auto" (each point's per-category default level); ``fidelities``
+    # picks trace (cycle-exact backend replay) or model (analytical cycle
+    # model) per grid point.  See repro.fleet.design_point.
+    programs: Tuple[str, ...] = ("iteration",)
+    design_points: Tuple[str, ...] = ()
+    codegen_levels: Tuple[str, ...] = ("auto",)
+    fidelities: Tuple[str, ...] = ("trace",)
+    sync_granularities: Tuple[Optional[int], ...] = (None,)
+    lmuls: Tuple[int, ...] = (1,)
+    solve_iterations: int = 10
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "difficulties", tuple(
@@ -337,6 +376,20 @@ class CampaignSpec:
             float(p) for p in _tuple(self.recovery_hold_position)))
         object.__setattr__(self, "mass_scales", tuple(
             float(s) for s in _tuple(self.mass_scales)))
+        object.__setattr__(self, "programs", tuple(
+            str(p) for p in _tuple(self.programs)))
+        object.__setattr__(self, "design_points", tuple(
+            str(p) for p in _tuple(self.design_points)))
+        object.__setattr__(self, "codegen_levels", tuple(
+            str(level) for level in _tuple(self.codegen_levels)))
+        object.__setattr__(self, "fidelities", tuple(
+            str(f) for f in _tuple(self.fidelities)))
+        object.__setattr__(self, "sync_granularities",
+                           _opt_int_tuple(self.sync_granularities))
+        object.__setattr__(self, "lmuls", tuple(
+            int(m) for m in _tuple(self.lmuls)))
+        object.__setattr__(self, "solve_iterations",
+                           int(self.solve_iterations))
         self.validate()
 
     @property
@@ -345,6 +398,11 @@ class CampaignSpec:
 
     # -- validation -------------------------------------------------------------
     def validate(self) -> None:
+        """Delegates to the campaign's episode kind (raises ``ValueError``
+        for unknown kinds and invalid axes alike)."""
+        get_episode_kind(self.episode_kind).validate(self)
+
+    def _validate_hil_axes(self) -> None:
         for axis in ("difficulties", "seeds", "implementations",
                      "frequencies_mhz", "variants", "control_rates_hz",
                      "max_admm_iterations"):
@@ -367,9 +425,6 @@ class CampaignSpec:
         for rate in self.control_rates_hz:
             if rate <= 0:
                 raise ValueError("control_rates_hz must be positive")
-        if self.episode_kind not in EPISODE_KINDS:
-            raise ValueError("unknown episode_kind {!r}; options: {}".format(
-                self.episode_kind, ", ".join(EPISODE_KINDS)))
         if not self.mass_scales:
             raise ValueError("campaign axis 'mass_scales' is empty")
         for scale in self.mass_scales:
@@ -377,8 +432,8 @@ class CampaignSpec:
                 raise ValueError("mass_scales must be finite and positive")
         # SensorFaults.__post_init__ validates the scalar fault profile.
         self.sensor_faults()
-        if not self.is_recovery:
-            return
+
+    def _validate_recovery_axes(self) -> None:
         for axis in ("disturbance_categories", "disturbance_kinds",
                      "disturbance_scales", "disturbance_start_times"):
             if not getattr(self, axis):
@@ -438,6 +493,13 @@ class CampaignSpec:
 
     @property
     def size(self) -> int:
+        return get_episode_kind(self.episode_kind).size(self)
+
+    def expand(self) -> List:
+        """The campaign's episodes, in the documented deterministic order."""
+        return get_episode_kind(self.episode_kind).expand(self)
+
+    def _hil_grid_size(self) -> int:
         base = (len(self.difficulties) * len(self.seeds)
                 * len(self.implementations) * len(self.frequencies_mhz)
                 * len(self.variants) * len(self.control_rates_hz)
@@ -446,8 +508,7 @@ class CampaignSpec:
             return base
         return base * len(self.disturbances())
 
-    def expand(self) -> List[EpisodeSpec]:
-        """The campaign's episodes, in the documented deterministic order."""
+    def _hil_expand(self) -> List[EpisodeSpec]:
         disturbance_axis: List[Optional[Disturbance]] = (
             self.disturbances() if self.is_recovery else [None])
         faults = self.sensor_faults()
@@ -474,7 +535,7 @@ class CampaignSpec:
 
     # -- (de)serialization -------------------------------------------------------
     def to_dict(self) -> Dict:
-        return {
+        payload = {
             "schema_version": SPEC_SCHEMA_VERSION,
             "name": self.name,
             "difficulties": [d.value for d in self.difficulties],
@@ -501,6 +562,20 @@ class CampaignSpec:
             "sensor_dropout_rate": self.sensor_dropout_rate,
             "sensor_fault_seed": self.sensor_fault_seed,
         }
+        if self.episode_kind == "design_point":
+            # Emitted only for design campaigns so that the serialized form
+            # (and therefore the content-addressed run-dir digests of
+            # existing HIL checkpoints) of older specs is unchanged.
+            payload.update({
+                "programs": list(self.programs),
+                "design_points": list(self.design_points),
+                "codegen_levels": list(self.codegen_levels),
+                "fidelities": list(self.fidelities),
+                "sync_granularities": list(self.sync_granularities),
+                "lmuls": list(self.lmuls),
+                "solve_iterations": self.solve_iterations,
+            })
+        return payload
 
     @classmethod
     def from_dict(cls, payload: Dict) -> "CampaignSpec":
@@ -515,6 +590,9 @@ class CampaignSpec:
         return cls(**payload)
 
     def describe(self) -> str:
+        return get_episode_kind(self.episode_kind).describe(self)
+
+    def _describe_hil(self) -> str:
         if self.is_recovery:
             return ("campaign {!r}: {} recovery episodes = {} disturbances x "
                     "{} seeds x {} impls x {} freqs x {} variants x {} rates "
@@ -589,7 +667,13 @@ class EpisodeFactory:
             nominal, mass=nominal.mass * spec.mass_scale,
             thrust_to_weight=nominal.thrust_to_weight / spec.mass_scale)
 
-    def build(self, spec: EpisodeSpec, episode_id: int) -> FleetEpisode:
+    def build(self, spec, episode_id: int) -> FleetEpisode:
+        """Dispatch on the spec's kind (HIL episode, design point, ...)."""
+        return get_episode_kind(spec.episode_kind).build(self, spec,
+                                                         episode_id)
+
+    def build_hil_episode(self, spec: EpisodeSpec,
+                          episode_id: int) -> FleetEpisode:
         problem = self.problem_for(spec.variant, spec.control_rate_hz)
         config = spec.hil_config()
         if spec.disturbance is not None:
@@ -611,3 +695,170 @@ class EpisodeFactory:
             episode_id=episode_id, runner=runner, problem=problem,
             settings=settings,
             cache=self.cache_for(spec.variant, spec.control_rate_hz))
+
+
+# ---------------------------------------------------------------------------
+# Scenario (de)serialization shared by the waypoint kind and the durable
+# journal fixtures
+# ---------------------------------------------------------------------------
+
+def _scenario_to_dict(scenario: Scenario) -> Dict[str, object]:
+    # Full field-by-field serialization (not just (difficulty, seed) for a
+    # regenerate-on-load scheme): fuzzer-shrunk or hand-built scenarios that
+    # never came from generate_scenario round-trip exactly too.
+    return {
+        "difficulty": scenario.difficulty.value,
+        "seed": scenario.seed,
+        "start_position": list(scenario.start_position),
+        "duration": scenario.duration,
+        "waypoints": [{"position": list(w.position),
+                       "activation_time": w.activation_time}
+                      for w in scenario.waypoints],
+    }
+
+
+def _scenario_from_dict(payload: Dict[str, object]) -> Scenario:
+    return Scenario(
+        difficulty=Difficulty(payload["difficulty"]),
+        seed=int(payload["seed"]),
+        waypoints=[Waypoint(position=tuple(w["position"]),
+                            activation_time=w["activation_time"])
+                   for w in payload["waypoints"]],
+        start_position=tuple(payload["start_position"]),
+        duration=payload["duration"])
+
+
+# ---------------------------------------------------------------------------
+# The built-in HIL episode kinds
+# ---------------------------------------------------------------------------
+
+class _HILKindBase(EpisodeKind):
+    """Shared behaviour of the closed-loop HIL kinds."""
+
+    def validate(self, campaign: "CampaignSpec") -> None:
+        campaign._validate_hil_axes()
+
+    def size(self, campaign: "CampaignSpec") -> int:
+        return campaign._hil_grid_size()
+
+    def expand(self, campaign: "CampaignSpec") -> List[EpisodeSpec]:
+        return campaign._hil_expand()
+
+    def describe(self, campaign: "CampaignSpec") -> str:
+        return campaign._describe_hil()
+
+    def build(self, factory: "EpisodeFactory", spec: EpisodeSpec,
+              episode_id: int) -> FleetEpisode:
+        return factory.build_hil_episode(spec, episode_id)
+
+
+class WaypointKind(_HILKindBase):
+    """Fly a generated waypoint scenario; results are ScenarioResult."""
+
+    name = "waypoint"
+    cell_axes = CELL_AXES
+    cells_field = "cells"
+
+    def owns_result(self, result) -> bool:
+        return isinstance(result, ScenarioResult)
+
+    def result_to_dict(self, result: ScenarioResult) -> Dict[str, object]:
+        return {
+            "kind": "waypoint",
+            "scenario": _scenario_to_dict(result.scenario),
+            "implementation": result.implementation,
+            "frequency_mhz": result.frequency_mhz,
+            "success": bool(result.success),
+            "crashed": bool(result.crashed),
+            "final_distance": result.final_distance,
+            "solve_times": list(result.solve_times),
+            "solve_iterations": [int(i) for i in result.solve_iterations],
+            "actuation_power_w": result.actuation_power_w,
+            "soc_power_w": result.soc_power_w,
+            "flight_time_s": result.flight_time_s,
+            "positions": (None if result.positions is None
+                          else np.asarray(result.positions).tolist()),
+        }
+
+    def result_from_dict(self, payload: Dict[str, object]) -> ScenarioResult:
+        positions = payload["positions"]
+        return ScenarioResult(
+            scenario=_scenario_from_dict(payload["scenario"]),
+            implementation=payload["implementation"],
+            frequency_mhz=payload["frequency_mhz"],
+            success=bool(payload["success"]),
+            crashed=bool(payload["crashed"]),
+            final_distance=payload["final_distance"],
+            solve_times=list(payload["solve_times"]),
+            solve_iterations=[int(i) for i in payload["solve_iterations"]],
+            actuation_power_w=payload["actuation_power_w"],
+            soc_power_w=payload["soc_power_w"],
+            flight_time_s=payload["flight_time_s"],
+            positions=(None if positions is None
+                       else np.asarray(positions, dtype=np.float64)))
+
+    def result_cell_key(self, result: ScenarioResult) -> Tuple:
+        # Results don't carry variant / solver settings / plant mismatch, so
+        # a result aggregated outside a campaign lands in a neutral cell.
+        return (result.scenario.difficulty.value, result.implementation,
+                result.frequency_mhz, "-", 0.0, 0, 1.0, "clean")
+
+    def new_cell(self, key: Tuple, sample_cap: int):
+        from .aggregate import CellAggregate
+        return CellAggregate(key=key, sample_cap=sample_cap)
+
+    def cell_from_dict(self, payload: Dict[str, object]):
+        from .aggregate import CellAggregate
+        return CellAggregate.from_dict(payload)
+
+
+class RecoveryKind(_HILKindBase):
+    """Hold position through a disturbance; results are RecoveryResult."""
+
+    name = "recovery"
+    cell_axes = RECOVERY_CELL_AXES
+    cells_field = "recovery_cells"
+
+    def validate(self, campaign: "CampaignSpec") -> None:
+        campaign._validate_hil_axes()
+        campaign._validate_recovery_axes()
+
+    def owns_result(self, result) -> bool:
+        return isinstance(result, RecoveryResult)
+
+    def result_to_dict(self, result: RecoveryResult) -> Dict[str, object]:
+        return {
+            "kind": "recovery",
+            "recovered": bool(result.recovered),
+            "time_to_recovery": result.time_to_recovery,
+            "max_deviation": result.max_deviation,
+            "disturbance": (None if result.disturbance is None
+                            else wrench_to_dict(result.disturbance)),
+        }
+
+    def result_from_dict(self, payload: Dict[str, object]) -> RecoveryResult:
+        return RecoveryResult(
+            recovered=bool(payload["recovered"]),
+            time_to_recovery=payload["time_to_recovery"],
+            max_deviation=payload["max_deviation"],
+            disturbance=(None if payload["disturbance"] is None
+                         else wrench_from_dict(payload["disturbance"])))
+
+    def result_cell_key(self, result: RecoveryResult) -> Tuple:
+        disturbance = result.disturbance
+        category = (disturbance.category.value if disturbance is not None
+                    else "-")
+        kind = disturbance.kind.value if disturbance is not None else "-"
+        return ("-", "-", 0.0, "-", 0.0, 0, 1.0, "clean", category, kind)
+
+    def new_cell(self, key: Tuple, sample_cap: int):
+        from .aggregate import RecoveryCellAggregate
+        return RecoveryCellAggregate(key=key, sample_cap=sample_cap)
+
+    def cell_from_dict(self, payload: Dict[str, object]):
+        from .aggregate import RecoveryCellAggregate
+        return RecoveryCellAggregate.from_dict(payload)
+
+
+register_episode_kind(WaypointKind())
+register_episode_kind(RecoveryKind())

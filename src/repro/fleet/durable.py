@@ -37,13 +37,9 @@ import zlib
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-import numpy as np
-
-from ..drone.disturbance import RecoveryResult
-from ..drone.scenarios import Difficulty, Scenario, Waypoint
-from ..drone.gusts import wrench_from_dict, wrench_to_dict
-from ..hil.metrics import ScenarioResult
-from .campaign import SPEC_SCHEMA_VERSION, CampaignSpec, EpisodeSpec
+from .campaign import (SPEC_SCHEMA_VERSION, CampaignSpec, EpisodeSpec,
+                       _scenario_from_dict, _scenario_to_dict)  # noqa: F401
+from .kinds import get_episode_kind, kind_for_result
 from .scheduler import SchedulerStats
 
 __all__ = [
@@ -101,96 +97,28 @@ def atomic_write_json(path: str, payload, indent: int = 2) -> None:
 # Episode result (de)serialization
 # ---------------------------------------------------------------------------
 
-def _scenario_to_dict(scenario: Scenario) -> Dict[str, object]:
-    # Full field-by-field serialization (not just (difficulty, seed) for a
-    # regenerate-on-load scheme): fuzzer-shrunk or hand-built scenarios that
-    # never came from generate_scenario round-trip exactly too.
-    return {
-        "difficulty": scenario.difficulty.value,
-        "seed": scenario.seed,
-        "start_position": list(scenario.start_position),
-        "duration": scenario.duration,
-        "waypoints": [{"position": list(w.position),
-                       "activation_time": w.activation_time}
-                      for w in scenario.waypoints],
-    }
-
-
-def _scenario_from_dict(payload: Dict[str, object]) -> Scenario:
-    return Scenario(
-        difficulty=Difficulty(payload["difficulty"]),
-        seed=int(payload["seed"]),
-        waypoints=[Waypoint(position=tuple(w["position"]),
-                            activation_time=w["activation_time"])
-                   for w in payload["waypoints"]],
-        start_position=tuple(payload["start_position"]),
-        duration=payload["duration"])
-
-
 def result_to_dict(result) -> Dict[str, object]:
-    """JSON-safe rendering of an :data:`~repro.hil.episode.EpisodeResult`.
+    """JSON-safe rendering of an episode result of any registered kind.
 
     Exact inverse of :func:`result_from_dict`: every float survives the
     round trip bit-for-bit (JSON encodes doubles via ``repr``), so a
     journal-replayed result is indistinguishable from a freshly computed
-    one — the property the crash-equivalence tests assert.
+    one — the property the crash-equivalence tests assert.  Serialization
+    is owned by the result's :class:`~repro.fleet.kinds.EpisodeKind`; the
+    payload carries the kind's name under ``"kind"``.
     """
-    if isinstance(result, RecoveryResult):
-        return {
-            "kind": "recovery",
-            "recovered": bool(result.recovered),
-            "time_to_recovery": result.time_to_recovery,
-            "max_deviation": result.max_deviation,
-            "disturbance": (None if result.disturbance is None
-                            else wrench_to_dict(result.disturbance)),
-        }
-    if isinstance(result, ScenarioResult):
-        return {
-            "kind": "waypoint",
-            "scenario": _scenario_to_dict(result.scenario),
-            "implementation": result.implementation,
-            "frequency_mhz": result.frequency_mhz,
-            "success": bool(result.success),
-            "crashed": bool(result.crashed),
-            "final_distance": result.final_distance,
-            "solve_times": list(result.solve_times),
-            "solve_iterations": [int(i) for i in result.solve_iterations],
-            "actuation_power_w": result.actuation_power_w,
-            "soc_power_w": result.soc_power_w,
-            "flight_time_s": result.flight_time_s,
-            "positions": (None if result.positions is None
-                          else np.asarray(result.positions).tolist()),
-        }
-    raise TypeError("unknown episode result type: {!r}".format(type(result)))
+    return kind_for_result(result).result_to_dict(result)
 
 
 def result_from_dict(payload: Dict[str, object]):
     """Inverse of :func:`result_to_dict`."""
-    kind = payload["kind"]
-    if kind == "recovery":
-        return RecoveryResult(
-            recovered=bool(payload["recovered"]),
-            time_to_recovery=payload["time_to_recovery"],
-            max_deviation=payload["max_deviation"],
-            disturbance=(None if payload["disturbance"] is None
-                         else wrench_from_dict(payload["disturbance"])))
-    if kind == "waypoint":
-        positions = payload["positions"]
-        return ScenarioResult(
-            scenario=_scenario_from_dict(payload["scenario"]),
-            implementation=payload["implementation"],
-            frequency_mhz=payload["frequency_mhz"],
-            success=bool(payload["success"]),
-            crashed=bool(payload["crashed"]),
-            final_distance=payload["final_distance"],
-            solve_times=list(payload["solve_times"]),
-            solve_iterations=[int(i) for i in payload["solve_iterations"]],
-            actuation_power_w=payload["actuation_power_w"],
-            soc_power_w=payload["soc_power_w"],
-            flight_time_s=payload["flight_time_s"],
-            positions=(None if positions is None
-                       else np.asarray(positions, dtype=np.float64)))
-    raise ValueError("unknown episode result kind {!r}".format(kind))
+    kind_name = payload["kind"]
+    try:
+        kind = get_episode_kind(kind_name)
+    except ValueError:
+        raise ValueError("unknown episode result kind {!r}".format(
+            kind_name)) from None
+    return kind.result_from_dict(payload)
 
 
 def stats_to_dict(stats: SchedulerStats) -> Dict[str, object]:

@@ -57,7 +57,7 @@ from ..tinympc import (
 from ..tinympc.cache import LQRCache, compute_cache
 
 __all__ = ["FleetEpisode", "FleetScheduler", "SchedulerStats", "SolverPool",
-           "compatibility_key", "solver_pool"]
+           "SOLVERLESS_KEY", "compatibility_key", "solver_pool"]
 
 
 def compatibility_key(problem: MPCProblem, settings: SolverSettings) -> Tuple:
@@ -77,25 +77,35 @@ def compatibility_key(problem: MPCProblem, settings: SolverSettings) -> Tuple:
             getattr(settings, "dtype", "float64"))
 
 
+#: Group key shared by episodes that never request an MPC solve (their
+#: runner generator returns before its first ``yield``).  They are parked
+#: in a no-op :class:`_NullGroup` so the scheduler's bookkeeping — release
+#: on StopIteration, close at run end — works unchanged.
+SOLVERLESS_KEY: Tuple = ("solverless",)
+
+
 @dataclass
 class FleetEpisode:
     """One schedulable episode: a step generator plus its solver identity.
 
-    The runner may drive either episode kind — a waypoint scenario
-    (producing a :class:`~repro.hil.metrics.ScenarioResult`) or a
-    disturbance-recovery episode (producing a
-    :class:`~repro.drone.disturbance.RecoveryResult`); the scheduler only
-    sees its solve requests, so both batch identically.
+    The runner may drive any episode kind — a waypoint scenario, a
+    disturbance-recovery episode, or a solver-free workload such as a
+    design-point compile (:mod:`repro.fleet.design_point`); the scheduler
+    only sees its solve requests, so all kinds batch identically.  Episodes
+    that never solve leave ``problem``/``settings`` as ``None`` and fall
+    into the shared :data:`SOLVERLESS_KEY` group.
     """
 
     episode_id: int
     runner: EpisodeRunner
-    problem: MPCProblem
-    settings: SolverSettings
+    problem: Optional[MPCProblem] = None
+    settings: Optional[SolverSettings] = None
     cache: Optional[LQRCache] = None
 
     @property
     def group_key(self) -> Tuple:
+        if self.problem is None:
+            return SOLVERLESS_KEY
         return compatibility_key(self.problem, self.settings)
 
 
@@ -229,6 +239,29 @@ _GLOBAL_POOL = SolverPool()
 def solver_pool() -> SolverPool:
     """The process-global solver pool used by default by schedulers."""
     return _GLOBAL_POOL
+
+
+class _NullGroup:
+    """Group for episodes that never yield a solve request.
+
+    Solver-free episode kinds (design-point compiles) do all their work
+    before the generator's first ``yield`` and hit ``StopIteration`` on the
+    scheduler's priming ``send(None)``; this group exists only so
+    ``release``/``close`` have a target.  A solve call is a programming
+    error — an episode with no declared problem asked for an MPC solve.
+    """
+
+    def solve(self, requests: Sequence[SolveRequest], stats: SchedulerStats
+              ) -> Dict[int, Tuple[np.ndarray, int]]:
+        raise RuntimeError(
+            "episode(s) {} yielded a solve request but declared no MPC "
+            "problem".format(sorted({r.episode for r in requests})))
+
+    def release(self, episode_id: int) -> None:
+        pass
+
+    def close(self) -> None:
+        pass
 
 
 class _ScalarGroup:
@@ -382,7 +415,9 @@ class FleetScheduler:
         for key in order:
             population = members[key]
             first = population[0]
-            if not self.batching or len(population) == 1:
+            if first.problem is None:
+                groups[key] = _NullGroup()
+            elif not self.batching or len(population) == 1:
                 groups[key] = _ScalarGroup(first.problem, first.settings,
                                            first.cache)
             else:

@@ -543,7 +543,8 @@ def run_supervised(campaign: Optional[CampaignSpec],
         completed = len(supervisor.done_results) + len(supervisor.failures)
         raise CampaignInterrupted(
             run_dir, completed, len(episode_specs),
-            partial_rows=aggregator.rows() + aggregator.recovery_rows())
+            partial_rows=(aggregator.rows() + aggregator.recovery_rows()
+                          + aggregator.design_rows()))
     except BaseException:
         supervisor.teardown()
         journal.close()

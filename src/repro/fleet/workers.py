@@ -74,9 +74,10 @@ class CampaignResult:
     report: Optional[object] = None       # SupervisorReport, if supervised
 
     def rows(self) -> List[Dict[str, object]]:
-        """Aggregate rows (waypoint cells, recovery cells), then one
+        """Aggregate rows (waypoint, recovery, then design cells), then one
         structured row per quarantined episode."""
         return (self.aggregate.rows() + self.aggregate.recovery_rows()
+                + self.aggregate.design_rows()
                 + [failure.as_row() for failure in self.failures])
 
     def overall(self) -> Dict[str, object]:

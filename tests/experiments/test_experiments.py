@@ -27,7 +27,7 @@ class TestRegistry:
         expected = {"fig1", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
                     "fig10", "fig11", "fig12", "fig13", "table1", "fig15", "fig16",
                     "fig17", "fig18", "sec43", "sec53", "headline",
-                    "fleet_campaign"}
+                    "fleet_campaign", "dse"}
         assert set(EXPERIMENTS) == expected
 
     def test_unknown_experiment_raises(self):

@@ -1,0 +1,75 @@
+"""Property tests for the O(n log n) Pareto frontier sweep.
+
+:func:`repro.experiments.pareto_experiments.pareto_frontier` replaced the
+quadratic pairwise scan; its dominance semantics — including the awkward
+cases, exact area/performance ties and fully duplicated points — are pinned
+against a brute-force reimplementation of the pairwise rule.  The value
+pools are deliberately tiny so hypothesis generates tie- and
+duplicate-heavy inputs constantly rather than occasionally.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.experiments.pareto_experiments import pareto_frontier
+
+
+def brute_force_frontier(points):
+    """A point is on the frontier iff no other point strictly dominates it:
+    at-least-as-good on both axes (area minimized, performance maximized)
+    and strictly better on one."""
+    frontier = []
+    for i, (area_i, perf_i) in enumerate(points):
+        dominated = any(
+            area_j <= area_i and perf_j >= perf_i
+            and (area_j < area_i or perf_j > perf_i)
+            for j, (area_j, perf_j) in enumerate(points) if j != i)
+        if not dominated:
+            frontier.append(i)
+    return frontier
+
+
+# Tiny integer-valued coordinate pools force ties and duplicates; the float
+# pool adds ordinary continuous inputs (no NaN/inf — areas and solve rates
+# are finite by construction).
+_tied = st.integers(min_value=0, max_value=4).map(float)
+_continuous = st.floats(min_value=0.0, max_value=1e6,
+                        allow_nan=False, allow_infinity=False)
+_point = st.one_of(st.tuples(_tied, _tied),
+                   st.tuples(_continuous, _continuous))
+
+
+@given(st.lists(_point, max_size=40))
+@settings(max_examples=300, deadline=None)
+def test_matches_brute_force(points):
+    assert pareto_frontier(points) == brute_force_frontier(points)
+
+
+@given(st.lists(st.tuples(_tied, _tied), min_size=1, max_size=10))
+@settings(max_examples=100, deadline=None)
+def test_duplicated_input_keeps_every_copy(points):
+    # Duplicate every point: copies never dominate each other strictly, so
+    # each surviving point must survive together with its twin.
+    doubled = list(points) + list(points)
+    frontier = pareto_frontier(doubled)
+    n = len(points)
+    assert frontier == sorted(frontier)
+    for index in frontier:
+        twin = index + n if index < n else index - n
+        assert twin in frontier, (points, frontier)
+
+
+def test_empty_and_singleton():
+    assert pareto_frontier([]) == []
+    assert pareto_frontier([(1.0, 2.0)]) == [0]
+
+
+def test_known_frontier_with_ties():
+    points = [(1.0, 5.0),   # frontier
+              (1.0, 5.0),   # duplicate of the above -> also frontier
+              (1.0, 4.0),   # same area, worse perf -> dominated
+              (2.0, 5.0),   # bigger area, equal perf -> dominated
+              (2.0, 7.0),   # frontier
+              (3.0, 7.0),   # bigger area, equal perf -> dominated
+              (0.5, 1.0)]   # smallest area -> frontier
+    assert pareto_frontier(points) == [0, 1, 4, 6]
